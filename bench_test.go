@@ -1,0 +1,266 @@
+// Benchmarks E1-E13: one per experiment in EXPERIMENTS.md, each
+// regenerating the measured side of a figure or theorem of the paper.
+// Custom metrics report the quantity the experiment is about (approximation
+// ratios, rounds, message bits) alongside the usual ns/op.
+package distspanner_test
+
+import (
+	"math"
+	"testing"
+
+	"distspanner/internal/baseline"
+	"distspanner/internal/core"
+	"distspanner/internal/dist"
+	"distspanner/internal/exact"
+	"distspanner/internal/gen"
+	"distspanner/internal/lb"
+	"distspanner/internal/localmodel"
+	"distspanner/internal/mds"
+	"distspanner/internal/span"
+)
+
+// BenchmarkE1_Fig1Dichotomy builds G(ℓ,β) and machine-checks the Lemma 2.3
+// spanner-size dichotomy (Figure 1).
+func BenchmarkE1_Fig1Dichotomy(b *testing.B) {
+	const l, beta = 4, 6
+	for i := 0; i < b.N; i++ {
+		a, bb := lb.DisjointInputs(l*l, 0.4, int64(i))
+		f, err := lb.NewFig1(l, beta, a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !span.IsDirectedKSpanner(f.G, f.NonDSpanner(), 5) {
+			b.Fatal("dichotomy broken: disjoint side")
+		}
+		a2, b2 := lb.IntersectingInputs(l*l, 1, 0.3, int64(i))
+		f2, err := lb.NewFig1(l, beta, a2, b2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f2.ForcedDEdges().Len() != beta*beta {
+			b.Fatal("dichotomy broken: forced edges")
+		}
+	}
+}
+
+// BenchmarkE2_RandomizedLB runs the metered two-party simulation on
+// G(ℓ,β), reporting the bits that crossed the Alice/Bob cut.
+func BenchmarkE2_RandomizedLB(b *testing.B) {
+	const l, beta = 4, 6
+	a, bb := lb.DisjointInputs(l*l, 0.4, 1)
+	f, err := lb.NewFig1(l, beta, a, bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comm, _ := f.G.Underlying()
+	cut := f.CutSide()
+	var cutBits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := lb.MeterLearnBall(comm, cut, 5, 32, l*l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cutBits = rep.Stats.CutBits
+	}
+	b.ReportMetric(float64(cutBits), "cutBits")
+	b.ReportMetric(lb.RandomizedDirectedRounds(1<<14, 4), "thmRounds@n=16k,a=4")
+}
+
+// BenchmarkE3_DeterministicLB checks the gap-disjointness dichotomy
+// (Lemma 2.6) on a β <= ℓ instance.
+func BenchmarkE3_DeterministicLB(b *testing.B) {
+	const l, beta = 12, 5
+	for i := 0; i < b.N; i++ {
+		af, bf := lb.FarFromDisjointInputs(l*l, int64(i))
+		f, err := lb.NewFig1(l, beta, af, bf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if float64(f.ForcedDEdges().Len()) < float64(beta*beta*l*l)/12 {
+			b.Fatal("gap dichotomy broken")
+		}
+	}
+	b.ReportMetric(lb.DeterministicDirectedRounds(1<<14, 4), "thmRounds@n=16k,a=4")
+}
+
+// BenchmarkE4_WeightedLB builds G_w and checks the 0-cost-iff-disjoint
+// property (Theorem 2.9) plus the undirected variant (Theorem 2.10).
+func BenchmarkE4_WeightedLB(b *testing.B) {
+	const l = 5
+	for i := 0; i < b.N; i++ {
+		a, bb := lb.DisjointInputs(l*l, 0.4, int64(i))
+		f, err := lb.NewFig2(l, a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !span.IsDirectedKSpanner(f.G, f.ZeroCostSpanner(), 4) {
+			b.Fatal("Fig2 disjoint side broken")
+		}
+		fu, err := lb.NewFig2Undirected(3, 5, a[:9], bb[:9])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !span.IsKSpanner(fu.G, fu.ZeroCostSpanner(), 5) {
+			b.Fatal("Fig2 undirected broken")
+		}
+	}
+	b.ReportMetric(lb.WeightedDirectedRounds(1<<14), "thmRounds@n=16k")
+}
+
+// BenchmarkE5_MVCGadget verifies the Claim 3.1 equality: min-cost
+// 2-spanner of G_S equals MVC of G.
+func BenchmarkE5_MVCGadget(b *testing.B) {
+	g := gen.GNP(5, 0.5, 3)
+	m := lb.NewMVCGadget(g, false)
+	mvc := len(exact.MinVertexCover(g))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost, err := exact.MinSpanner(m.GS, exact.SpannerOptions{K: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cost != float64(mvc) {
+			b.Fatal("Claim 3.1 equality broken")
+		}
+	}
+	b.ReportMetric(float64(mvc), "MVC")
+}
+
+// BenchmarkE6_TwoSpanner runs the headline algorithm (Theorem 1.3) on a
+// random graph, reporting size ratio against the n-1 lower bound and the
+// round count.
+func BenchmarkE6_TwoSpanner(b *testing.B) {
+	g := gen.ConnectedGNP(40, 0.15, 1)
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.TwoSpanner(g, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fallbacks != 0 {
+			b.Fatal("Claim 4.4 fallback")
+		}
+	}
+	b.ReportMetric(float64(res.Spanner.Len())/float64(g.N()-1), "sizeVsLB")
+	b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+}
+
+// BenchmarkE7_Directed runs the directed variant (Theorem 4.9).
+func BenchmarkE7_Directed(b *testing.B) {
+	d := gen.RandomDigraph(12, 1.1, 1) // complete bidirected
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.DirectedTwoSpanner(d, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Spanner.Len())/float64(d.M()), "keptFrac")
+}
+
+// BenchmarkE8_Weighted runs the weighted variant (Theorem 4.12).
+func BenchmarkE8_Weighted(b *testing.B) {
+	g := gen.RandomWeights(gen.ConnectedGNP(30, 0.25, 3), 1, 16, 7)
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.TwoSpanner(g, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Cost, "cost")
+}
+
+// BenchmarkE9_ClientServer runs the client-server variant (Theorem 4.15).
+func BenchmarkE9_ClientServer(b *testing.B) {
+	g := gen.ConnectedGNP(30, 0.25, 5)
+	clients, servers := gen.ClientServerSplit(g, 0.5, 0.7, 11)
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.ClientServerTwoSpanner(g, clients, servers, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Spanner.Len()), "edges")
+}
+
+// BenchmarkE10_MDS runs the CONGEST dominating-set algorithm (Theorem
+// 5.1), reporting the CONGEST-relevant max edge-round bits.
+func BenchmarkE10_MDS(b *testing.B) {
+	g := gen.ConnectedGNP(50, 0.12, 2)
+	var res *mds.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = mds.Run(g, mds.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.DominatingSet)), "dsSize")
+	b.ReportMetric(float64(res.Stats.MaxEdgeRoundBits), "maxEdgeRoundBits")
+}
+
+// BenchmarkE11_EpsilonApprox runs the (1+ε) algorithm (Theorem 1.2) on a
+// small instance and asserts the bound against exact OPT.
+func BenchmarkE11_EpsilonApprox(b *testing.B) {
+	g := gen.Clique(8)
+	_, opt, err := exact.MinSpanner(g, exact.SpannerOptions{K: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const eps = 0.5
+	b.ResetTimer()
+	var res *localmodel.Result
+	for i := 0; i < b.N; i++ {
+		res, err = localmodel.EpsilonSpanner(g, localmodel.Options{K: 2, Eps: eps, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cost > (1+eps)*opt+1e-9 {
+			b.Fatal("(1+eps) bound broken")
+		}
+	}
+	b.ReportMetric(res.Cost/opt, "ratio")
+	b.ReportMetric(float64(res.Colors), "colors")
+}
+
+// BenchmarkE12_Separations contrasts the LOCAL-sized messages of the core
+// algorithm with the CONGEST messages of MDS on the same dense graph.
+func BenchmarkE12_Separations(b *testing.B) {
+	g := gen.Clique(16)
+	var coreBits, mdsBits int
+	for i := 0; i < b.N; i++ {
+		rc, err := core.TwoSpanner(g, core.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm, err := mds.Run(g, mds.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		coreBits, mdsBits = rc.Stats.MaxEdgeRoundBits, rm.Stats.MaxEdgeRoundBits
+	}
+	b.ReportMetric(float64(coreBits), "coreMaxBits")
+	b.ReportMetric(float64(mdsBits), "mdsMaxBits")
+	b.ReportMetric(float64(8*dist.IDBits(g.N())), "congestBudget")
+}
+
+// BenchmarkE13_BaswanaSen builds (2k-1)-spanners and reports the implied
+// approximation ratio against the n-1 bound.
+func BenchmarkE13_BaswanaSen(b *testing.B) {
+	g := gen.ConnectedGNP(200, 0.3, 1)
+	const k = 2
+	var size int
+	for i := 0; i < b.N; i++ {
+		res := baseline.BaswanaSen(g, k, int64(i))
+		size = res.Spanner.Len()
+	}
+	b.ReportMetric(float64(size)/float64(g.N()-1), "approxRatio")
+	b.ReportMetric(math.Pow(float64(g.N()), 1.0/k), "n^(1/k)")
+}

@@ -1,0 +1,172 @@
+package distspanner_test
+
+import (
+	"testing"
+
+	"distspanner"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	g := distspanner.RandomGraph(40, 0.2, 1)
+	res, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifySpanner(g, res.Spanner, 2) {
+		t.Fatal("public API produced an invalid spanner")
+	}
+	if distspanner.SpannerCost(g, res.Spanner) != res.Cost {
+		t.Fatal("cost accessors disagree")
+	}
+}
+
+func TestPublicAPIDirected(t *testing.T) {
+	d := distspanner.RandomDigraph(15, 0.3, 2)
+	res, err := distspanner.BuildDirected2Spanner(d, distspanner.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifyDirectedSpanner(d, res.Spanner, 2) {
+		t.Fatal("invalid directed spanner via public API")
+	}
+}
+
+func TestPublicAPIClientServer(t *testing.T) {
+	g := distspanner.RandomGraph(20, 0.3, 3)
+	clients, servers := distspanner.ClientServerSplit(g, 0.5, 0.8, 1)
+	res, err := distspanner.BuildClientServer2Spanner(g, clients, servers, distspanner.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifyClientServer(g, clients, servers, res.Spanner, 2) {
+		t.Fatal("invalid client-server solution via public API")
+	}
+}
+
+func TestPublicAPIMDS(t *testing.T) {
+	g := distspanner.RandomGraph(30, 0.15, 4)
+	res, err := distspanner.BuildMDS(g, distspanner.MDSOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DominatingSet) == 0 {
+		t.Fatal("empty dominating set")
+	}
+}
+
+func TestPublicAPIEpsilon(t *testing.T) {
+	g := distspanner.CompleteBipartite(3, 3)
+	res, err := distspanner.BuildEpsilonSpanner(g, distspanner.EpsilonOptions{K: 2, Eps: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifySpanner(g, res.Spanner, 2) {
+		t.Fatal("invalid epsilon spanner")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	g := distspanner.RandomGraph(25, 0.3, 5)
+	if h := distspanner.KortsarzPeleg(g); !distspanner.VerifySpanner(g, h, 2) {
+		t.Fatal("KP baseline invalid")
+	}
+	bs := distspanner.BaswanaSen(g, 2, 1)
+	if !distspanner.VerifySpanner(g, bs.Spanner, bs.Stretch) {
+		t.Fatal("Baswana-Sen baseline invalid")
+	}
+}
+
+func TestPublicAPIGraphConstruction(t *testing.T) {
+	g := distspanner.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	res, err := distspanner.Build2Spanner(g, distspanner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spanner.Len() != 2 {
+		t.Fatalf("path spanner = %d edges, want 2", res.Spanner.Len())
+	}
+	h := distspanner.Hypercube(3)
+	if h.N() != 8 {
+		t.Fatal("hypercube wrong")
+	}
+	w := distspanner.RandomWeights(distspanner.RandomGraph(10, 0.3, 1), 1, 5, 2)
+	if !w.Weighted() {
+		t.Fatal("weights not applied")
+	}
+	s := distspanner.NewEdgeSet(4)
+	s.Add(2)
+	if !s.Has(2) {
+		t.Fatal("edge set broken")
+	}
+	d := distspanner.NewDigraph(2)
+	d.AddEdge(0, 1)
+	if d.M() != 1 {
+		t.Fatal("digraph broken")
+	}
+}
+
+func TestPublicAPICongest(t *testing.T) {
+	g := distspanner.RandomGraph(18, 0.3, 6)
+	local, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	congest, err := distspanner.Build2SpannerCongest(g, distspanner.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Spanner.Equal(congest.Spanner) {
+		t.Fatal("CONGEST facade output differs from LOCAL")
+	}
+	if congest.Subrounds < 1 || congest.Stats.MaxEdgeRoundBits > congest.Bandwidth {
+		t.Fatal("CONGEST accounting broken")
+	}
+}
+
+func TestPublicAPIGreedyKSpanner(t *testing.T) {
+	g := distspanner.RandomGraph(30, 0.3, 3)
+	h := distspanner.GreedyKSpanner(g, 3)
+	if !distspanner.VerifySpanner(g, h, 3) {
+		t.Fatal("greedy k-spanner invalid via facade")
+	}
+}
+
+func TestPublicAPINewGenerators(t *testing.T) {
+	geo := distspanner.GeometricGraph(50, 0.3, 1)
+	if geo.N() != 50 || geo.M() == 0 {
+		t.Fatal("geometric generator broken")
+	}
+	ba := distspanner.PreferentialAttachment(60, 2, 2)
+	if !ba.Connected() {
+		t.Fatal("preferential attachment must be connected")
+	}
+	res, err := distspanner.Build2Spanner(ba, distspanner.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifySpanner(ba, res.Spanner, 2) {
+		t.Fatal("spanner on BA graph invalid")
+	}
+}
+
+func TestPublicAPIAugmentAndStretch(t *testing.T) {
+	g := distspanner.RandomGraph(20, 0.4, 9)
+	initial := distspanner.NewEdgeSet(g.M())
+	initial.Add(0)
+	res, err := distspanner.Build2SpannerAugment(g, initial, distspanner.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distspanner.VerifySpanner(g, res.Spanner, 2) {
+		t.Fatal("augmented spanner invalid via facade")
+	}
+	st := distspanner.AnalyzeStretch(g, res.Spanner, -1)
+	if st.Max < 1 || st.Max > 2 {
+		t.Fatalf("stretch max = %d, want 1 or 2", st.Max)
+	}
+	if st.Mean <= 0 {
+		t.Fatal("mean stretch missing")
+	}
+}

@@ -1,0 +1,52 @@
+// CONGEST overhead: the paper's Section 1.3 observes that a direct
+// CONGEST implementation of the 2-spanner algorithm pays an O(Δ) round
+// overhead, because candidates must ship O(Δ)-word stars and density
+// tables through O(log n)-bit messages. This example runs the same
+// algorithm in both models on increasingly dense graphs and shows the
+// overhead growing with Δ while the outputs stay identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distspanner"
+)
+
+func main() {
+	fmt.Println("same algorithm, same seed, LOCAL vs CONGEST execution:")
+	fmt.Printf("%8s %5s %12s %12s %14s %10s\n",
+		"graph", "Δ", "localRounds", "subrounds", "congestRounds", "overhead")
+	for _, n := range []int{8, 12, 16, 24, 32} {
+		g := clique(n)
+		local, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		congest, err := distspanner.Build2SpannerCongest(g, distspanner.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !local.Spanner.Equal(congest.Spanner) {
+			log.Fatal("executions diverged — they must not")
+		}
+		fmt.Printf("%8s %5d %12d %12d %14d %9.1fx\n",
+			fmt.Sprintf("K%d", n), g.MaxDegree(),
+			local.Stats.Rounds, congest.Subrounds, congest.Stats.Rounds,
+			float64(congest.Stats.Rounds)/float64(local.Stats.Rounds))
+	}
+	fmt.Println()
+	fmt.Println("every CONGEST message fits the enforced O(log n) budget; the price is Θ(Δ)")
+	fmt.Println("physical rounds per logical round — exactly the Section 1.3 overhead, and the")
+	fmt.Println("reason the paper leaves an efficient CONGEST 2-spanner algorithm open.")
+}
+
+func clique(n int) *distspanner.Graph {
+	g := distspanner.NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

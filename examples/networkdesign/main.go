@@ -1,0 +1,74 @@
+// Network design: the client-server 2-spanner problem (Elkin-Peleg [29],
+// Section 4.3.3 of the paper). An operator owns a set of installable links
+// (server edges: a backbone plus access links) and must serve a demand set
+// (client edges: pairs that need a connection of at most 2 hops), buying
+// as few server links as possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distspanner"
+)
+
+func main() {
+	// Topology: 4 regions of 8 hosts. Server edges: intra-region links to
+	// two regional gateways and a gateway backbone. Client demands:
+	// host pairs that must talk within 2 hops.
+	const regions, hosts = 4, 8
+	n := regions * (hosts + 2) // hosts + 2 gateways per region
+	g := distspanner.NewGraph(n)
+	servers := []int{}
+	gwA := func(r int) int { return r * (hosts + 2) }
+	gwB := func(r int) int { return r*(hosts+2) + 1 }
+	host := func(r, h int) int { return r*(hosts+2) + 2 + h }
+
+	for r := 0; r < regions; r++ {
+		for h := 0; h < hosts; h++ {
+			servers = append(servers, g.AddEdge(gwA(r), host(r, h)))
+			servers = append(servers, g.AddEdge(gwB(r), host(r, h)))
+		}
+		servers = append(servers, g.AddEdge(gwA(r), gwB(r)))
+		servers = append(servers, g.AddEdge(gwA(r), gwA((r+1)%regions)))
+	}
+
+	// Client demands: every intra-region host pair, expressed as direct
+	// edges that only exist as demands (not installable).
+	clients := []int{}
+	for r := 0; r < regions; r++ {
+		for a := 0; a < hosts; a++ {
+			for b := a + 1; b < hosts; b++ {
+				clients = append(clients, g.AddEdge(host(r, a), host(r, b)))
+			}
+		}
+	}
+
+	clientSet := distspanner.NewEdgeSet(g.M())
+	for _, e := range clients {
+		clientSet.Add(e)
+	}
+	serverSet := distspanner.NewEdgeSet(g.M())
+	for _, e := range servers {
+		serverSet.Add(e)
+	}
+
+	fmt.Printf("instance: %d vertices, %d installable links, %d demands\n",
+		n, serverSet.Len(), clientSet.Len())
+
+	res, err := distspanner.BuildClientServer2Spanner(g, clientSet, serverSet, distspanner.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !distspanner.VerifyClientServer(g, clientSet, serverSet, res.Spanner, 2) {
+		log.Fatal("solution does not serve all demands")
+	}
+	fmt.Printf("links purchased: %d of %d installable (%.0f%%)\n",
+		res.Spanner.Len(), serverSet.Len(),
+		100*float64(res.Spanner.Len())/float64(serverSet.Len()))
+	fmt.Printf("distributed run: %d rounds, %d iterations\n", res.Stats.Rounds, res.Iterations)
+
+	// Structural optimum for comparison: serving all pairs of a region
+	// needs one full gateway star per region = regions * hosts links.
+	fmt.Printf("structural optimum: %d links (one gateway star per region)\n", regions*hosts)
+}

@@ -1,0 +1,97 @@
+// Synchronizer: the classic spanner application (Awerbuch-Peleg; refs
+// [2, 3, 57] of the paper). A synchronizer overlay must reach every
+// vertex while keeping few edges and small stretch: broadcasting over a
+// 2-spanner costs proportionally fewer messages per round, while any
+// neighbor-to-neighbor exchange of the original graph is delayed by at
+// most a factor of 2.
+//
+// This example builds a 2-spanner of a dense cluster topology, then
+// simulates a full-network broadcast over both the original graph and the
+// spanner overlay, comparing message counts and completion times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distspanner"
+)
+
+func main() {
+	// A "datacenter row": dense clusters bridged by a backbone, the kind
+	// of topology where per-round full-neighborhood chatter is expensive.
+	g := buildClusteredNetwork(6, 9)
+	fmt.Printf("network: n=%d m=%d maxΔ=%d\n", g.N(), g.M(), g.MaxDegree())
+
+	res, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !distspanner.VerifySpanner(g, res.Spanner, 2) {
+		log.Fatal("spanner invalid")
+	}
+	fmt.Printf("overlay: %d of %d edges kept (%.0f%%)\n",
+		res.Spanner.Len(), g.M(), 100*float64(res.Spanner.Len())/float64(g.M()))
+
+	// Simulate a synchronizer "pulse": flood from vertex 0, where each
+	// informed vertex forwards over all its (overlay) edges each round.
+	fullRounds, fullMsgs := flood(g, nil)
+	spanRounds, spanMsgs := flood(g, res.Spanner)
+	fmt.Printf("broadcast on full graph:  %d rounds, %d messages\n", fullRounds, fullMsgs)
+	fmt.Printf("broadcast on 2-spanner:   %d rounds, %d messages\n", spanRounds, spanMsgs)
+	fmt.Printf("message saving: %.0f%%; round dilation: %.2fx (bounded by the stretch, 2)\n",
+		100*(1-float64(spanMsgs)/float64(fullMsgs)),
+		float64(spanRounds)/float64(fullRounds))
+	if spanRounds > 2*fullRounds {
+		log.Fatal("stretch bound violated")
+	}
+}
+
+// flood simulates synchronous flooding from vertex 0 restricted to the
+// overlay (nil = all edges), returning rounds to full coverage and total
+// messages sent.
+func flood(g *distspanner.Graph, overlay *distspanner.EdgeSet) (rounds, messages int) {
+	informed := make([]bool, g.N())
+	informed[0] = true
+	frontier := []int{0}
+	covered := 1
+	for covered < g.N() {
+		rounds++
+		var next []int
+		for _, v := range frontier {
+			for _, arc := range g.Adj(v) {
+				if overlay != nil && !overlay.Has(arc.Edge) {
+					continue
+				}
+				messages++
+				if !informed[arc.To] {
+					informed[arc.To] = true
+					covered++
+					next = append(next, arc.To)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return rounds, messages
+}
+
+// buildClusteredNetwork makes `clusters` cliques of size `size` whose
+// leaders form a cycle backbone.
+func buildClusteredNetwork(clusters, size int) *distspanner.Graph {
+	g := distspanner.NewGraph(clusters * size)
+	leader := func(c int) int { return c * size }
+	for c := 0; c < clusters; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+		g.AddEdge(leader(c), leader((c+1)%clusters))
+	}
+	return g
+}

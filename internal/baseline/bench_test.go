@@ -1,0 +1,31 @@
+package baseline
+
+import (
+	"testing"
+
+	"distspanner/internal/gen"
+)
+
+func BenchmarkKortsarzPeleg(b *testing.B) {
+	g := gen.ConnectedGNP(40, 0.25, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KortsarzPeleg(g)
+	}
+}
+
+func BenchmarkBaswanaSen(b *testing.B) {
+	g := gen.ConnectedGNP(300, 0.1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaswanaSen(g, 3, int64(i))
+	}
+}
+
+func BenchmarkGreedyKSpanner(b *testing.B) {
+	g := gen.ConnectedGNP(150, 0.15, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyKSpanner(g, 3)
+	}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"distspanner/internal/graph"
+)
+
+// ExpectationMDS is the in-expectation comparator for the paper's MDS
+// algorithm, with the symmetry breaking of Jia et al. [43] rather than the
+// paper's voting: locally-maximal candidates join the dominating set with
+// an independent coin flip instead of earning votes from the vertices they
+// cover. Its O(log Δ) ratio holds in expectation only — individual runs
+// can overshoot, which is exactly the behavior the paper's guaranteed
+// version eliminates (experiment E10).
+func ExpectationMDS(g *graph.Graph, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	covered := make([]bool, n)
+	inDS := make([]bool, n)
+	remaining := n
+
+	uncoveredCount := func(v int) int {
+		c := 0
+		if !covered[v] {
+			c++
+		}
+		for _, arc := range g.Adj(v) {
+			if !covered[arc.To] {
+				c++
+			}
+		}
+		return c
+	}
+	for rounds := 0; remaining > 0 && rounds < 50*n; rounds++ {
+		counts := make([]int, n)
+		for v := 0; v < n; v++ {
+			counts[v] = uncoveredCount(v)
+		}
+		progressed := false
+		for v := 0; v < n; v++ {
+			if counts[v] == 0 || inDS[v] {
+				continue
+			}
+			localMax := true
+			for _, u := range g.Ball(v, 2) {
+				if roundPow2(float64(counts[u])) > roundPow2(float64(counts[v])) {
+					localMax = false
+					break
+				}
+			}
+			if !localMax || rng.Intn(2) == 0 {
+				continue
+			}
+			inDS[v] = true
+			progressed = true
+			if !covered[v] {
+				covered[v] = true
+				remaining--
+			}
+			for _, arc := range g.Adj(v) {
+				if !covered[arc.To] {
+					covered[arc.To] = true
+					remaining--
+				}
+			}
+		}
+		_ = progressed
+	}
+	// Mop up any stragglers (possible only under absurd coin sequences).
+	for v := 0; v < n; v++ {
+		if !covered[v] {
+			inDS[v] = true
+			covered[v] = true
+			for _, arc := range g.Adj(v) {
+				covered[arc.To] = true
+			}
+		}
+	}
+	var ds []int
+	for v, in := range inDS {
+		if in {
+			ds = append(ds, v)
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}

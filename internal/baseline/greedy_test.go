@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distspanner/internal/gen"
+	"distspanner/internal/span"
+)
+
+func TestGreedyKSpannerValid(t *testing.T) {
+	g := gen.ConnectedGNP(40, 0.3, 1)
+	for _, k := range []int{1, 2, 3, 5} {
+		h := GreedyKSpanner(g, k)
+		if !span.IsKSpanner(g, h, k) {
+			t.Fatalf("k=%d: invalid greedy spanner", k)
+		}
+	}
+}
+
+func TestGreedyKSpannerStretchOne(t *testing.T) {
+	// k=1 keeps every edge.
+	g := gen.ConnectedGNP(20, 0.3, 2)
+	if h := GreedyKSpanner(g, 1); h.Len() != g.M() {
+		t.Fatalf("k=1 kept %d of %d edges", h.Len(), g.M())
+	}
+}
+
+func TestGreedyKSpannerGirth(t *testing.T) {
+	// The structural guarantee: the greedy k-spanner has girth > k+1.
+	g := gen.ConnectedGNP(30, 0.4, 3)
+	for _, k := range []int{2, 3} {
+		h := GreedyKSpanner(g, k)
+		if !GirthAbove(g, h, k+1) {
+			t.Fatalf("k=%d: greedy spanner contains a cycle of length <= k+1", k)
+		}
+	}
+}
+
+func TestGreedyKSpannerSizeBound(t *testing.T) {
+	// For k = 3 (t = 2): size O(n^{3/2}).
+	g := gen.ConnectedGNP(100, 0.5, 4)
+	h := GreedyKSpanner(g, 3)
+	n := float64(g.N())
+	if float64(h.Len()) > 3*n*math.Sqrt(n) {
+		t.Fatalf("3-spanner size %d exceeds O(n^{3/2})", h.Len())
+	}
+}
+
+func TestGreedyKSpannerWeightedOrdersByWeight(t *testing.T) {
+	// On a weighted triangle, the two cheap edges enter first and the
+	// expensive edge is skipped when within stretch.
+	g := gen.Clique(3)
+	e01, _ := g.EdgeIndex(0, 1)
+	e12, _ := g.EdgeIndex(1, 2)
+	e02, _ := g.EdgeIndex(0, 2)
+	g.SetWeight(e01, 1)
+	g.SetWeight(e12, 1)
+	g.SetWeight(e02, 100)
+	h := GreedyKSpanner(g, 2)
+	if h.Has(e02) {
+		t.Fatal("expensive edge kept despite cheap 2-path")
+	}
+	if !h.Has(e01) || !h.Has(e12) {
+		t.Fatal("cheap edges must be kept")
+	}
+}
+
+// Property: greedy output is always a valid k-spanner and a subset of the
+// edges, for random graphs and k in {2,3,4}.
+func TestGreedyKSpannerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		k := 2 + int((seed%3+3)%3)
+		g := gen.ConnectedGNP(4+int((seed%17+17)%17), 0.35, seed)
+		h := GreedyKSpanner(g, k)
+		return span.IsKSpanner(g, h, k) && h.Len() <= g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"distspanner/internal/gen"
+	"distspanner/internal/span"
+)
+
+// The ablation knobs in Options isolate two design choices of Section 4:
+// the |C_v|/8 acceptance threshold and the Section 4.1 monotone
+// star-choice rule. These tests check that the ablated variants remain
+// correct (they still produce 2-spanners) while the design choices' costs
+// and benefits stay measurable.
+
+func TestAblationVoteDenominatorStillValid(t *testing.T) {
+	g := gen.ConnectedGNP(25, 0.3, 4)
+	for _, den := range []int{1, 2, 8, 32} {
+		res, err := TwoSpanner(g, Options{Seed: 3, VoteDenominator: den})
+		if err != nil {
+			t.Fatalf("den=%d: %v", den, err)
+		}
+		if !span.IsKSpanner(g, res.Spanner, 2) {
+			t.Fatalf("den=%d: invalid spanner", den)
+		}
+	}
+}
+
+func TestAblationStricterVotesNeverAcceptMore(t *testing.T) {
+	// VoteDenominator = 1 demands votes >= |C_v|: acceptance becomes much
+	// rarer, so runs take at least as many iterations as the default on
+	// star-rich graphs.
+	g := gen.PlantedStars(4, 7, 0.5, 2)
+	strict, err := TwoSpanner(g, Options{Seed: 5, VoteDenominator: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := TwoSpanner(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Iterations < def.Iterations {
+		t.Fatalf("strict voting finished in %d iterations, default needed %d",
+			strict.Iterations, def.Iterations)
+	}
+	if !span.IsKSpanner(g, strict.Spanner, 2) {
+		t.Fatal("strict variant invalid")
+	}
+}
+
+func TestAblationFreshStarsStillValid(t *testing.T) {
+	// Without the monotone rule, correctness is unharmed (the
+	// approximation analysis never used it) — only the round argument
+	// (Claim 4.4 / the potential function) loses its footing.
+	g := gen.ConnectedGNP(25, 0.3, 7)
+	res, err := TwoSpanner(g, Options{Seed: 2, FreshStars: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsKSpanner(g, res.Spanner, 2) {
+		t.Fatal("fresh-star ablation produced an invalid spanner")
+	}
+}
+
+func TestAblationDefaultsMatchExplicitEight(t *testing.T) {
+	g := gen.ConnectedGNP(20, 0.3, 1)
+	a, err := TwoSpanner(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoSpanner(g, Options{Seed: 9, VoteDenominator: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Spanner.Equal(b.Spanner) {
+		t.Fatal("explicit VoteDenominator=8 differs from the default")
+	}
+}
+
+// BenchmarkAblationVoteThreshold sweeps the acceptance denominator.
+func BenchmarkAblationVoteThreshold(b *testing.B) {
+	g := gen.PlantedStars(4, 8, 0.4, 3)
+	for _, den := range []int{2, 8, 32} {
+		b.Run(benchName("den", den), func(b *testing.B) {
+			var iters, size int
+			for i := 0; i < b.N; i++ {
+				res, err := TwoSpanner(g, Options{Seed: int64(i), VoteDenominator: den})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters, size = res.Iterations, res.Spanner.Len()
+			}
+			b.ReportMetric(float64(iters), "iterations")
+			b.ReportMetric(float64(size), "edges")
+		})
+	}
+}
+
+// BenchmarkAblationStarRule contrasts the Section 4.1 monotone rule with
+// fresh star choices.
+func BenchmarkAblationStarRule(b *testing.B) {
+	g := gen.PlantedStars(4, 8, 0.4, 3)
+	for _, fresh := range []bool{false, true} {
+		name := "monotone"
+		if fresh {
+			name = "fresh"
+		}
+		b.Run(name, func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := TwoSpanner(g, Options{Seed: int64(i), FreshStars: fresh})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}
+
+// BenchmarkCongestOverhead measures the Θ(Δ) subround overhead.
+func BenchmarkCongestOverhead(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		g := gen.Clique(n)
+		b.Run(benchName("K", n), func(b *testing.B) {
+			var sub, rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := TwoSpannerCongest(g, Options{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub, rounds = res.Subrounds, res.Stats.Rounds
+			}
+			b.ReportMetric(float64(sub), "subrounds")
+			b.ReportMetric(float64(rounds), "congestRounds")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestAblationNoRoundingStillValid(t *testing.T) {
+	g := gen.ConnectedGNP(25, 0.3, 6)
+	res, err := TwoSpanner(g, Options{Seed: 4, NoRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsKSpanner(g, res.Spanner, 2) {
+		t.Fatal("no-rounding ablation produced an invalid spanner")
+	}
+	// Exact comparisons make candidacy rarer (strictly max density), so
+	// the run still terminates; that is the main point of this test.
+}

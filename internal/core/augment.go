@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"distspanner/internal/graph"
+)
+
+// TwoSpannerAugment solves the 2-spanner augmentation problem from the
+// Section 3 remarks: given an initial edge set that is already paid for,
+// add the minimum number of further edges so that the union 2-spans the
+// graph. The remarks observe this is exactly the weighted problem with
+// 0/1 weights (initial edges free, others unit), so the weighted
+// algorithm's O(log Δ) guarantee carries over.
+//
+// The returned Result's Spanner is the full spanner (initial edges
+// included); Cost counts only the newly added edges.
+func TwoSpannerAugment(g *graph.Graph, initial *graph.EdgeSet, opts Options) (*Result, error) {
+	if initial == nil {
+		return nil, errors.New("core: augmentation requires an initial edge set")
+	}
+	if initial.Universe() != g.M() {
+		return nil, fmt.Errorf("core: initial set universe %d != M() = %d", initial.Universe(), g.M())
+	}
+	if g.Weighted() {
+		return nil, errors.New("core: augmentation instance must be unweighted (weights encode the initial set)")
+	}
+	work := g.Clone()
+	for i := 0; i < work.M(); i++ {
+		if initial.Has(i) {
+			work.SetWeight(i, 0)
+		} else {
+			work.SetWeight(i, 1)
+		}
+	}
+	res, err := TwoSpanner(work, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/graph"
+)
+
+// This file implements the paper's Section 1.3 discussion point: "A direct
+// implementation of our algorithm in the Congest model yields an overhead
+// of O(Δ) rounds". TwoSpannerCongest runs the exact same per-vertex
+// program as TwoSpanner, but every logical round is realized as a fixed
+// number of CONGEST subrounds over which the O(Δ)-word messages are
+// fragmented into O(log n)-bit chunks. The engine enforces the bandwidth,
+// so a single oversized message aborts the run — the CONGEST legality is
+// checked, not assumed.
+
+// chunkWords is the number of payload words carried per chunk; with the
+// header this keeps every chunk within the 8-word CONGEST budget.
+const chunkWords = 6
+
+// chunkMsg is one fragment of an encoded logical payload.
+type chunkMsg struct {
+	kind  uint8
+	words []int
+	more  bool
+	n     int
+}
+
+// Bits accounts a fixed 8-word CONGEST message: header (kind, more, count)
+// plus up to chunkWords words.
+func (m chunkMsg) Bits() int { return 8 * dist.IDBits(m.n) }
+
+// Payload kind tags for the fragmenter.
+const (
+	kindSpanList uint8 = iota + 1
+	kindUncov
+	kindDens
+	kindMax
+	kindStar
+	kindTerm
+	kindVote
+	kindAccept
+)
+
+// encodePayload flattens a core payload into words. Densities travel as
+// exact (spanned, cost) integer rationals — the unweighted algorithm's
+// densities are ratios of counts, so one word each suffices; receivers
+// recompute the float and its rounding, which is exactly how a real
+// CONGEST implementation would ship them.
+func encodePayload(p dist.Payload) (uint8, []int, error) {
+	switch m := p.(type) {
+	case spanListMsg:
+		return kindSpanList, m.nbrs, nil
+	case uncovMsg:
+		return kindUncov, m.nbrs, nil
+	case densMsg:
+		return kindDens, []int{m.num, m.den}, nil
+	case maxMsg:
+		return kindMax, []int{m.num, m.den}, nil
+	case starMsg:
+		words := []int{int(m.r >> 31), int(m.r & ((1 << 31) - 1))}
+		return kindStar, append(words, m.star...), nil
+	case termMsg:
+		return kindTerm, m.added, nil
+	case voteMsg:
+		words := make([]int, 0, 2*len(m.edges))
+		for _, e := range m.edges {
+			words = append(words, e[0], e[1])
+		}
+		return kindVote, words, nil
+	case acceptMsg:
+		return kindAccept, m.star, nil
+	default:
+		return 0, nil, fmt.Errorf("core: unknown payload %T in CONGEST mode", p)
+	}
+}
+
+// decodePayload reverses encodePayload.
+func decodePayload(kind uint8, words []int, n int) (dist.Payload, error) {
+	switch kind {
+	case kindSpanList:
+		return spanListMsg{nbrs: words, n: n}, nil
+	case kindUncov:
+		return uncovMsg{nbrs: words, n: n}, nil
+	case kindDens:
+		if len(words) != 2 {
+			return nil, errors.New("core: bad density fragment")
+		}
+		raw := ratValue(words[0], words[1])
+		return densMsg{rho: RoundUpPow2(raw), raw: raw, wmax: 1, num: words[0], den: words[1]}, nil
+	case kindMax:
+		if len(words) != 2 {
+			return nil, errors.New("core: bad max fragment")
+		}
+		raw := ratValue(words[0], words[1])
+		return maxMsg{rho: RoundUpPow2(raw), raw: raw, wmax: 1, num: words[0], den: words[1]}, nil
+	case kindStar:
+		if len(words) < 2 {
+			return nil, errors.New("core: bad star fragment")
+		}
+		r := int64(words[0])<<31 | int64(words[1])
+		return starMsg{star: words[2:], r: r, n: n}, nil
+	case kindTerm:
+		return termMsg{added: words, n: n}, nil
+	case kindVote:
+		if len(words)%2 != 0 {
+			return nil, errors.New("core: bad vote fragment")
+		}
+		edges := make([][2]int, 0, len(words)/2)
+		for i := 0; i < len(words); i += 2 {
+			edges = append(edges, [2]int{words[i], words[i+1]})
+		}
+		return voteMsg{edges: edges, n: n}, nil
+	case kindAccept:
+		return acceptMsg{star: words, n: n}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown payload kind %d", kind)
+	}
+}
+
+// ratValue recomputes a density from its exact integer rational. Both the
+// sender (Phase B) and this decoder perform the identical float division,
+// so LOCAL and CONGEST executions see bit-identical densities.
+func ratValue(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// congestCtx adapts *dist.Ctx so that one logical round of the protocol
+// becomes exactly `sub` physical CONGEST rounds, fragmenting every payload
+// into chunkMsg fragments. All vertices derive `sub` from the globally
+// known n and Δ, keeping the network in lockstep.
+type congestCtx struct {
+	ctx *dist.Ctx
+	sub int
+	out map[int][]pendingPayload
+}
+
+type pendingPayload struct {
+	kind  uint8
+	words []int
+}
+
+// newCongestCtx computes the subround count from the maximum logical
+// payload: star/uncovered/spanner lists have at most Δ+2 words and vote
+// lists at most 2Δ words.
+func newCongestCtx(ctx *dist.Ctx, maxDegree int) *congestCtx {
+	maxWords := 2*maxDegree + 4
+	sub := (maxWords + chunkWords - 1) / chunkWords
+	if sub < 1 {
+		sub = 1
+	}
+	return &congestCtx{ctx: ctx, sub: sub, out: make(map[int][]pendingPayload)}
+}
+
+// Subrounds reports the physical rounds per logical round: the measured
+// O(Δ) overhead.
+func (c *congestCtx) Subrounds() int { return c.sub }
+
+// ID implements roundCtx.
+func (c *congestCtx) ID() int { return c.ctx.ID() }
+
+// N implements roundCtx.
+func (c *congestCtx) N() int { return c.ctx.N() }
+
+// Neighbors implements roundCtx.
+func (c *congestCtx) Neighbors() []int { return c.ctx.Neighbors() }
+
+// Rand implements roundCtx.
+func (c *congestCtx) Rand() *rand.Rand { return c.ctx.Rand() }
+
+// Send implements roundCtx by queuing the payload for fragmentation.
+func (c *congestCtx) Send(to int, p dist.Payload) {
+	kind, words, err := encodePayload(p)
+	if err != nil {
+		panic(err)
+	}
+	c.out[to] = append(c.out[to], pendingPayload{kind: kind, words: words})
+}
+
+// Broadcast implements roundCtx.
+func (c *congestCtx) Broadcast(p dist.Payload) {
+	for _, u := range c.ctx.Neighbors() {
+		c.Send(u, p)
+	}
+}
+
+// NextRound implements roundCtx: it spends exactly c.sub physical rounds
+// streaming the queued fragments and reassembles the logical inbox.
+func (c *congestCtx) NextRound() []dist.Message {
+	// The protocol sends at most one payload per (sender, receiver) per
+	// logical round, which keeps reassembly unambiguous.
+	type stream struct {
+		kind   uint8
+		words  []int
+		offset int
+	}
+	streams := make(map[int]*stream, len(c.out))
+	for to, payloads := range c.out {
+		if len(payloads) != 1 {
+			panic(fmt.Sprintf("core: %d payloads to one receiver in a logical round", len(payloads)))
+		}
+		streams[to] = &stream{kind: payloads[0].kind, words: payloads[0].words}
+	}
+	c.out = make(map[int][]pendingPayload)
+
+	type inStream struct {
+		kind  uint8
+		words []int
+		open  bool
+		done  bool
+	}
+	incoming := make(map[int]*inStream)
+	n := c.ctx.N()
+	for round := 0; round < c.sub; round++ {
+		for to, s := range streams {
+			if s.offset == 0 || s.offset < len(s.words) {
+				end := s.offset + chunkWords
+				if end > len(s.words) {
+					end = len(s.words)
+				}
+				chunk := chunkMsg{
+					kind:  s.kind,
+					words: s.words[s.offset:end],
+					more:  end < len(s.words),
+					n:     n,
+				}
+				s.offset = end
+				if s.offset == 0 { // empty payload: mark sent
+					s.offset = 1
+				}
+				c.ctx.Send(to, chunk)
+			}
+		}
+		for _, m := range c.ctx.NextRound() {
+			ch, ok := m.Payload.(chunkMsg)
+			if !ok {
+				panic(fmt.Sprintf("core: non-chunk payload %T in CONGEST mode", m.Payload))
+			}
+			st := incoming[m.From]
+			if st == nil || st.done {
+				st = &inStream{kind: ch.kind, open: true}
+				incoming[m.From] = st
+			}
+			st.words = append(st.words, ch.words...)
+			if !ch.more {
+				st.done = true
+			}
+		}
+	}
+	froms := make([]int, 0, len(incoming))
+	for from := range incoming {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	msgs := make([]dist.Message, 0, len(froms))
+	for _, from := range froms {
+		st := incoming[from]
+		p, err := decodePayload(st.kind, st.words, n)
+		if err != nil {
+			panic(err)
+		}
+		msgs = append(msgs, dist.Message{From: from, Payload: p})
+	}
+	return msgs
+}
+
+// CongestResult extends Result with the fragmentation accounting.
+type CongestResult struct {
+	Result
+	// Subrounds is the number of physical CONGEST rounds per logical
+	// round of the LOCAL algorithm: Θ(Δ), the Section 1.3 overhead.
+	Subrounds int
+	// Bandwidth is the enforced per-edge bit budget.
+	Bandwidth int
+}
+
+// TwoSpannerCongest runs the unweighted minimum 2-spanner algorithm in the
+// CONGEST model: identical logic to TwoSpanner, with every message
+// fragmented into 8-word chunks and the engine enforcing the O(log n)
+// bandwidth. The price is Θ(Δ) physical rounds per logical round,
+// demonstrating the overhead the paper's discussion section describes.
+func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
+	if g.Weighted() {
+		return nil, errors.New("core: the CONGEST variant is unweighted (densities ship as count rationals)")
+	}
+	all := func(int) bool { return true }
+	v := variant{
+		target:      all,
+		starEdge:    all,
+		directAdd:   all,
+		candidateOK: func(raw float64) bool { return raw >= 1 },
+		terminal:    func(maxRaw, _ float64) bool { return maxRaw <= 1 },
+	}
+	n := g.N()
+	maxDeg := g.MaxDegree()
+	bandwidth := 8 * dist.IDBits(n)
+	outs := make([][]int, n)
+	iters := make([]int, n)
+	var fallbacks atomic.Int64
+	tele := newTelemetry()
+	subrounds := 0
+	proc := func(ctx *dist.Ctx) {
+		cc := newCongestCtx(ctx, maxDeg)
+		if ctx.ID() == 0 {
+			subrounds = cc.Subrounds()
+		}
+		nd := newUndirectedNode(cc, g, v, outs, iters, &fallbacks)
+		nd.opts = opts
+		nd.tele = tele
+		nd.run()
+	}
+	stats, err := dist.Run(dist.Config{
+		Graph:     g,
+		Seed:      opts.Seed,
+		Bandwidth: bandwidth,
+		Enforce:   true,
+		MaxRounds: opts.MaxRounds,
+	}, proc)
+	if err != nil {
+		return nil, err
+	}
+	spanner := graph.NewEdgeSet(g.M())
+	for _, edges := range outs {
+		for _, e := range edges {
+			spanner.Add(e)
+		}
+	}
+	maxIter := 0
+	for _, it := range iters {
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	return &CongestResult{
+		Result: Result{
+			Spanner:      spanner,
+			Cost:         g.TotalWeight(spanner),
+			Stats:        *stats,
+			Iterations:   maxIter,
+			PerIteration: tele.stats(maxIter),
+			Fallbacks:    fallbacks.Load(),
+		},
+		Subrounds: subrounds,
+		Bandwidth: bandwidth,
+	}, nil
+}

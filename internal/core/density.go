@@ -1,0 +1,39 @@
+// Package core implements the paper's main algorithmic contribution
+// (Section 4): a distributed algorithm for the minimum 2-spanner problem in
+// the LOCAL model with a guaranteed O(log(m/n)) approximation ratio and
+// O(log n · log Δ) rounds w.h.p. (Theorem 1.3), together with its directed
+// (Theorem 4.9), weighted (Theorem 4.12), and client-server (Theorem 4.15)
+// variants.
+//
+// The algorithm repeatedly has every vertex compute its densest star with
+// respect to the still-uncovered edges in its neighborhood (by flow
+// techniques), lets vertices whose rounded density is maximal in their
+// 2-neighborhood become candidates, breaks symmetry by letting every
+// uncovered edge vote for the first candidate that 2-spans it under a
+// random permutation, and accepts stars receiving at least 1/8 of their
+// potential votes. Stars are chosen by the careful rule of Section 4.1 so
+// that, within one rounded-density level, the chosen stars only shrink
+// (Claim 4.4), which is what bounds the round complexity.
+package core
+
+import "math"
+
+// RoundUpPow2 returns the smallest power of two strictly greater than x
+// (the paper's rounded density ρ̃). Negative powers are allowed, matching
+// the weighted variant where densities may be below one. RoundUpPow2 of a
+// non-positive value is 0.
+func RoundUpPow2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	e := math.Floor(math.Log2(x))
+	p := math.Ldexp(1, int(e))
+	// Guard against floating error in Log2: ensure p <= x < 2p.
+	for p > x {
+		p /= 2
+	}
+	for p*2 <= x {
+		p *= 2
+	}
+	return p * 2
+}

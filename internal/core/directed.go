@@ -1,0 +1,451 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/graph"
+)
+
+// Directed-variant payloads. Communication runs over the underlying
+// undirected graph (the paper's model is bidirectional even for directed
+// spanner problems), so directionality is data, not topology.
+
+// dirSpanListMsg broadcasts the sender's outgoing spanner edges: an entry w
+// means (sender, w) is in the spanner. Out-lists alone suffice for coverage
+// checks, since every directed 2-path u -> x -> w consists of out-edges of
+// u and x.
+type dirSpanListMsg struct {
+	outNbrs []int
+	n       int
+}
+
+func (m dirSpanListMsg) Bits() int {
+	return (1 + len(m.outNbrs)) * dist.IDBits(m.n)
+}
+
+// dirUncovMsg broadcasts the sender's uncovered outgoing edges by head.
+type dirUncovMsg struct {
+	heads []int
+	n     int
+}
+
+func (m dirUncovMsg) Bits() int { return (1 + len(m.heads)) * dist.IDBits(m.n) }
+
+// dirStarEntry is one neighbor of a candidate's directed star with the
+// directions taken: in means (nbr -> candidate), out means (candidate ->
+// nbr).
+type dirStarEntry struct {
+	Nbr     int
+	In, Out bool
+}
+
+// dirStarMsg announces a candidate's directed star and random rank.
+type dirStarMsg struct {
+	entries []dirStarEntry
+	r       int64
+	n       int
+}
+
+func (m dirStarMsg) Bits() int {
+	return (1+len(m.entries))*(dist.IDBits(m.n)+2) + 4*dist.IDBits(m.n)
+}
+
+// dirTermMsg announces termination: the sender adds the listed uncovered
+// incident directed edges (tail, head) to the spanner.
+type dirTermMsg struct {
+	edges [][2]int
+	n     int
+}
+
+func (m dirTermMsg) Bits() int { return (1 + 2*len(m.edges)) * dist.IDBits(m.n) }
+
+// DirectedTwoSpanner runs the directed 2-spanner algorithm of Theorem 4.9
+// on the digraph d. The communication topology is d's underlying undirected
+// graph.
+func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
+	under, _ := d.Underlying()
+	n := d.N()
+	outs := make([][]int, n)
+	iters := make([]int, n)
+	var fallbacks atomic.Int64
+	tele := newTelemetry()
+	proc := func(ctx *dist.Ctx) {
+		nd := newDirectedNode(ctx, d, outs, iters, &fallbacks)
+		nd.tele = tele
+		nd.run()
+	}
+	stats, err := dist.Run(dist.Config{Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds}, proc)
+	if err != nil {
+		return nil, err
+	}
+	spanner := graph.NewEdgeSet(d.M())
+	for _, edges := range outs {
+		for _, e := range edges {
+			spanner.Add(e)
+		}
+	}
+	maxIter := 0
+	for _, it := range iters {
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	return &Result{
+		Spanner:      spanner,
+		Cost:         d.TotalWeight(spanner),
+		Stats:        *stats,
+		Iterations:   maxIter,
+		PerIteration: tele.stats(maxIter),
+		Fallbacks:    fallbacks.Load(),
+	}, nil
+}
+
+type directedNode struct {
+	ctx       *dist.Ctx
+	d         *graph.Digraph
+	outs      [][]int
+	iters     []int
+	fallbacks *atomic.Int64
+
+	me      int
+	nbrs    []int
+	nbrSet  map[int]bool
+	outEdge map[int]int // head -> directed edge id (me, head)
+	inEdge  map[int]int // tail -> directed edge id (tail, me)
+	covOut  map[int]bool
+	covIn   map[int]bool
+	spanOut map[int]bool
+	spanIn  map[int]bool
+
+	wasCand  bool
+	lastRho  float64
+	prevStar []int
+	runMin   float64 // footnote 7: running minimum of the approximate density
+	tele     *telemetry
+}
+
+func newDirectedNode(ctx *dist.Ctx, d *graph.Digraph, outs [][]int, iters []int, fb *atomic.Int64) *directedNode {
+	me := ctx.ID()
+	nd := &directedNode{
+		ctx: ctx, d: d, outs: outs, iters: iters, fallbacks: fb,
+		me:      me,
+		nbrs:    ctx.Neighbors(),
+		nbrSet:  make(map[int]bool),
+		outEdge: make(map[int]int),
+		inEdge:  make(map[int]int),
+		covOut:  make(map[int]bool),
+		covIn:   make(map[int]bool),
+		spanOut: make(map[int]bool),
+		spanIn:  make(map[int]bool),
+		runMin:  -1,
+	}
+	for _, u := range nd.nbrs {
+		nd.nbrSet[u] = true
+		if idx, ok := d.EdgeIndex(me, u); ok {
+			nd.outEdge[u] = idx
+		}
+		if idx, ok := d.EdgeIndex(u, me); ok {
+			nd.inEdge[u] = idx
+		}
+	}
+	return nd
+}
+
+func (nd *directedNode) run() {
+	n := nd.ctx.N()
+	for iter := 0; ; iter++ {
+		nd.iters[nd.me] = iter
+
+		// Phase G': exchange directed spanner lists, update coverage.
+		nd.ctx.Broadcast(dirSpanListMsg{outNbrs: setToSorted(nd.spanOut), n: n})
+		spanOutOf := make(map[int]map[int]bool)
+		for _, m := range nd.ctx.NextRound() {
+			p := m.Payload.(dirSpanListMsg)
+			spanOutOf[m.From] = sliceToSet(p.outNbrs)
+		}
+		nd.updateCoverage(spanOutOf)
+
+		// Phase A: exchange uncovered outgoing edges; build directed H_v.
+		var heads []int
+		for w := range nd.outEdge {
+			if !nd.covOut[w] {
+				heads = append(heads, w)
+			}
+		}
+		sort.Ints(heads)
+		nd.ctx.Broadcast(dirUncovMsg{heads: heads, n: n})
+		var hDir [][2]int
+		for _, m := range nd.ctx.NextRound() {
+			u := m.From
+			if _, hasIn := nd.inEdge[u]; !hasIn {
+				continue // star cannot use (u, me): no such edge
+			}
+			for _, w := range m.Payload.(dirUncovMsg).heads {
+				if w == nd.me || !nd.nbrSet[w] {
+					continue
+				}
+				if _, hasOut := nd.outEdge[w]; hasOut {
+					hDir = append(hDir, [2]int{u, w})
+				}
+			}
+		}
+		nbrCnt := make(map[int]int, len(nd.nbrs))
+		for _, u := range nd.nbrs {
+			cnt := 0
+			if _, ok := nd.outEdge[u]; ok {
+				cnt++
+			}
+			if _, ok := nd.inEdge[u]; ok {
+				cnt++
+			}
+			nbrCnt[u] = cnt
+		}
+		view := newDirView(nbrCnt, hDir)
+		_, raw := view.approxDensest(nil)
+		// Footnote 7: the approximation may fluctuate upward; use the
+		// running minimum so the rounded value never increases.
+		if nd.runMin < 0 || raw < nd.runMin {
+			nd.runMin = raw
+		}
+		raw = nd.runMin
+		rho := RoundUpPow2(raw)
+
+		// Phases B + C: 2-hop maxima of (rho, raw).
+		nd.ctx.Broadcast(densMsg{rho: rho, raw: raw, wmax: 1})
+		hopRho, hopRaw := rho, raw
+		for _, m := range nd.ctx.NextRound() {
+			p := m.Payload.(densMsg)
+			hopRho = maxf(hopRho, p.rho)
+			hopRaw = maxf(hopRaw, p.raw)
+		}
+		nd.ctx.Broadcast(maxMsg{rho: hopRho, raw: hopRaw, wmax: 1})
+		m2Rho, m2Raw := hopRho, hopRaw
+		for _, m := range nd.ctx.NextRound() {
+			p := m.Payload.(maxMsg)
+			m2Rho = maxf(m2Rho, p.rho)
+			m2Raw = maxf(m2Raw, p.raw)
+		}
+
+		// Termination: as in the undirected case, with approximate
+		// densities (constants shift, shape preserved).
+		if m2Raw <= 1 {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.term, iter)
+			}
+			var added [][2]int
+			for w := range nd.outEdge {
+				if !nd.covOut[w] {
+					nd.spanOut[w] = true
+					nd.covOut[w] = true
+					added = append(added, [2]int{nd.me, w})
+				}
+			}
+			for u := range nd.inEdge {
+				if !nd.covIn[u] {
+					nd.spanIn[u] = true
+					nd.covIn[u] = true
+					added = append(added, [2]int{u, nd.me})
+				}
+			}
+			nd.ctx.Broadcast(dirTermMsg{edges: added, n: n})
+			nd.ctx.NextRound()
+			nd.emitOutput()
+			return
+		}
+
+		// Phase D: candidacy and star choice.
+		isCand := rho > 0 && rho >= m2Rho && raw >= 1
+		var myEntries []dirStarEntry
+		mySpanCount := 0
+		if isCand {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.cand, iter)
+			}
+			var prev []bool
+			if nd.wasCand && nd.lastRho == rho && nd.prevStar != nil {
+				prev = view.maskFromIDs(nd.prevStar)
+			}
+			sel, fb := view.chooseStar(rho, prev)
+			if fb {
+				nd.fallbacks.Add(1)
+			}
+			ids := view.starNeighborIDs(sel)
+			for _, u := range ids {
+				_, hasOut := nd.outEdge[u]
+				_, hasIn := nd.inEdge[u]
+				myEntries = append(myEntries, dirStarEntry{Nbr: u, In: hasIn, Out: hasOut})
+			}
+			spanned, _ := view.dirValue(sel)
+			mySpanCount = int(spanned + 0.5)
+			nd.ctx.Broadcast(dirStarMsg{entries: myEntries, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: n})
+			nd.wasCand, nd.lastRho, nd.prevStar = true, rho, ids
+		} else {
+			nd.wasCand = false
+			nd.prevStar = nil
+		}
+
+		// Phase D inbox: stars and terminations.
+		type candidate struct {
+			in, out map[int]bool
+			r       int64
+		}
+		cands := make(map[int]candidate)
+		for _, m := range nd.ctx.NextRound() {
+			switch p := m.Payload.(type) {
+			case dirTermMsg:
+				for _, e := range p.edges {
+					if e[0] == nd.me {
+						nd.spanOut[e[1]] = true
+						nd.covOut[e[1]] = true
+					}
+					if e[1] == nd.me {
+						nd.spanIn[e[0]] = true
+						nd.covIn[e[0]] = true
+					}
+				}
+			case dirStarMsg:
+				c := candidate{in: map[int]bool{}, out: map[int]bool{}, r: p.r}
+				for _, en := range p.entries {
+					if en.In {
+						c.in[en.Nbr] = true
+					}
+					if en.Out {
+						c.out[en.Nbr] = true
+					}
+				}
+				cands[m.From] = c
+			}
+		}
+
+		// Phase E: each uncovered outgoing edge (me, w) votes, owned by its
+		// tail. The candidate v 2-spans (me, w) iff (me, v) and (v, w) are
+		// in S_v: v's star has an In entry for me and an Out entry for w.
+		votes := make(map[int][][2]int)
+		for w := range nd.outEdge {
+			if nd.covOut[w] {
+				continue
+			}
+			bestV, bestR := -1, int64(0)
+			for vid, c := range cands {
+				if !c.in[nd.me] || !c.out[w] {
+					continue
+				}
+				if bestV < 0 || c.r < bestR || (c.r == bestR && vid < bestV) {
+					bestV, bestR = vid, c.r
+				}
+			}
+			if bestV >= 0 {
+				votes[bestV] = append(votes[bestV], [2]int{nd.me, w})
+			}
+		}
+		for vid, es := range votes {
+			nd.ctx.Send(vid, voteMsg{edges: es, n: n})
+		}
+
+		// Phase E inbox: acceptance at >= |C_v|/8 votes.
+		myVotes := 0
+		for _, m := range nd.ctx.NextRound() {
+			myVotes += len(m.Payload.(voteMsg).edges)
+		}
+		if isCand && 8*myVotes >= mySpanCount && mySpanCount > 0 {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.accept, iter)
+			}
+			for _, en := range myEntries {
+				if en.Out {
+					nd.spanOut[en.Nbr] = true
+				}
+				if en.In {
+					nd.spanIn[en.Nbr] = true
+				}
+			}
+			nd.ctx.Broadcast(dirStarMsg{entries: myEntries, r: -1, n: n})
+		}
+
+		// Phase F inbox: accepted stars (r == -1 marks acceptance).
+		for _, m := range nd.ctx.NextRound() {
+			p, ok := m.Payload.(dirStarMsg)
+			if !ok || p.r != -1 {
+				continue
+			}
+			for _, en := range p.entries {
+				if en.Nbr != nd.me {
+					continue
+				}
+				if en.Out { // (sender, me) in spanner
+					nd.spanIn[m.From] = true
+				}
+				if en.In { // (me, sender) in spanner
+					nd.spanOut[m.From] = true
+				}
+			}
+		}
+	}
+}
+
+// updateCoverage marks directed incident edges covered when in the spanner
+// or bridged by a directed 2-path through a common neighbor.
+func (nd *directedNode) updateCoverage(spanOutOf map[int]map[int]bool) {
+	// Outgoing edge (me, w): covered by (me, x) ∈ spanner and (x, w) ∈
+	// spanner, learned from x's out-list.
+	for w := range nd.outEdge {
+		if nd.covOut[w] {
+			continue
+		}
+		if nd.spanOut[w] {
+			nd.covOut[w] = true
+			continue
+		}
+		for x, outX := range spanOutOf {
+			if nd.spanOut[x] && outX[w] {
+				nd.covOut[w] = true
+				break
+			}
+		}
+	}
+	// Incoming edge (u, me): covered by (u, x) ∈ spanner (x's... the tail
+	// u also tracks this edge as its outgoing edge; to keep both endpoint
+	// views consistent we check (u, x) from u's broadcasts and (x, me)
+	// from our own incoming spanner state.
+	for u := range nd.inEdge {
+		if nd.covIn[u] {
+			continue
+		}
+		if nd.spanIn[u] {
+			nd.covIn[u] = true
+			continue
+		}
+		outU := spanOutOf[u]
+		if outU == nil {
+			continue
+		}
+		for x := range outU {
+			if x == nd.me {
+				continue
+			}
+			if nd.spanIn[x] && nd.nbrSet[x] {
+				// (u, x) ∈ spanner and (x, me) ∈ spanner.
+				nd.covIn[u] = true
+				break
+			}
+		}
+	}
+}
+
+func (nd *directedNode) emitOutput() {
+	var out []int
+	for w, in := range nd.spanOut {
+		if in {
+			out = append(out, nd.outEdge[w])
+		}
+	}
+	for u, in := range nd.spanIn {
+		if in {
+			out = append(out, nd.inEdge[u])
+		}
+	}
+	sort.Ints(out)
+	nd.outs[nd.me] = out
+}

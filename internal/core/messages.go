@@ -1,0 +1,84 @@
+package core
+
+import "distspanner/internal/dist"
+
+// Message payloads for the 7-round-per-iteration LOCAL protocol. Sizes
+// follow CONGEST accounting (IDBits-sized words), which is what makes the
+// O(Δ)-word messages of this LOCAL algorithm measurably non-CONGEST
+// (Section 1.3 discusses exactly this overhead).
+
+// spanListMsg broadcasts the sender's incident spanner edges, named by the
+// far endpoint. Phase G'.
+type spanListMsg struct {
+	nbrs []int
+	n    int
+}
+
+func (m spanListMsg) Bits() int { return (1 + len(m.nbrs)) * dist.IDBits(m.n) }
+
+// uncovMsg broadcasts the sender's incident still-uncovered target edges,
+// named by the far endpoint. Phase A.
+type uncovMsg struct {
+	nbrs []int
+	n    int
+}
+
+func (m uncovMsg) Bits() int { return (1 + len(m.nbrs)) * dist.IDBits(m.n) }
+
+// densMsg broadcasts the sender's rounded density, raw density, and the
+// maximum weight among its incident edges (used by the weighted variant's
+// termination rule). Phase B. In the unweighted algorithm the raw density
+// is the exact rational num/den (2-spanned count over star size), which is
+// what the CONGEST adapter ships as two words.
+type densMsg struct {
+	rho, raw, wmax float64
+	num, den       int
+}
+
+func (densMsg) Bits() int { return 3 * 64 }
+
+// maxMsg broadcasts 1-hop maxima of the densMsg fields, so that receivers
+// learn 2-hop maxima. Phase C. num/den carry the maximizing rational.
+type maxMsg struct {
+	rho, raw, wmax float64
+	num, den       int
+}
+
+func (maxMsg) Bits() int { return 3 * 64 }
+
+// starMsg announces a candidate's chosen star (neighbor ids) and its random
+// rank r ∈ {1, …, n⁴}. Phase D.
+type starMsg struct {
+	star []int
+	r    int64
+	n    int
+}
+
+func (m starMsg) Bits() int { return (1+len(m.star))*dist.IDBits(m.n) + 4*dist.IDBits(m.n) }
+
+// termMsg announces that the sender terminates and directly adds the listed
+// incident edges (by far endpoint) to the spanner. Phase D.
+type termMsg struct {
+	added []int
+	n     int
+}
+
+func (m termMsg) Bits() int { return (1 + len(m.added)) * dist.IDBits(m.n) }
+
+// voteMsg carries the votes of the sender's owned uncovered edges for the
+// receiving candidate. Phase E.
+type voteMsg struct {
+	edges [][2]int
+	n     int
+}
+
+func (m voteMsg) Bits() int { return (1 + 2*len(m.edges)) * dist.IDBits(m.n) }
+
+// acceptMsg announces that the sender's star was accepted into the spanner.
+// Phase F.
+type acceptMsg struct {
+	star []int
+	n    int
+}
+
+func (m acceptMsg) Bits() int { return (1 + len(m.star)) * dist.IDBits(m.n) }

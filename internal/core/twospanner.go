@@ -1,0 +1,578 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/graph"
+)
+
+// Options configures a run of the distributed algorithms.
+type Options struct {
+	// Seed drives all per-vertex randomness; runs are deterministic
+	// functions of (instance, Seed).
+	Seed int64
+	// MaxRounds aborts runaway executions; zero uses the engine default.
+	MaxRounds int
+
+	// VoteDenominator is an ablation knob for the acceptance rule: a
+	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
+	// Zero means the paper's 8. Smaller values accept fewer stars per
+	// iteration (more rounds); larger values accept stars with heavy
+	// vote overlap (worse ratio constant).
+	VoteDenominator int
+	// FreshStars is an ablation knob disabling the Section 4.1 monotone
+	// star-choice rule: every candidacy picks a fresh star. Claim 4.4's
+	// potential argument — the basis of the O(log n log Δ) round bound —
+	// relies on the rule; the ablation measures what it buys.
+	FreshStars bool
+	// NoRounding is an ablation knob skipping the power-of-two density
+	// rounding: candidacy then requires being an exact local maximum.
+	// Rounding is what caps the number of density levels at O(log Δ); the
+	// ablation measures the cost of exact comparisons.
+	NoRounding bool
+}
+
+func (o Options) voteDenominator() int {
+	if o.VoteDenominator <= 0 {
+		return 8
+	}
+	return o.VoteDenominator
+}
+
+// IterationStat is per-iteration telemetry of a run.
+type IterationStat struct {
+	// Candidates is the number of vertices whose rounded density was
+	// maximal in their 2-neighborhood this iteration.
+	Candidates int
+	// Accepted is the number of candidate stars that reached the voting
+	// threshold and joined the spanner.
+	Accepted int
+	// Terminated is the number of vertices that halted this iteration.
+	Terminated int
+}
+
+// Result reports the outcome of a distributed spanner construction.
+type Result struct {
+	// Spanner is the union of the edges output by all vertices.
+	Spanner *graph.EdgeSet
+	// Cost is the spanner's total weight (edge count when unweighted).
+	Cost float64
+	// Stats carries the engine's round/message/bit measurements.
+	Stats dist.Stats
+	// Iterations is the maximum number of algorithm iterations any vertex
+	// executed (each iteration is a constant number of rounds).
+	Iterations int
+	// PerIteration is the telemetry of each iteration, in order.
+	PerIteration []IterationStat
+	// Fallbacks counts uses of the degenerate star-choice fallback of
+	// Section 4.1, which Claim 4.4 proves is never taken. It should be 0;
+	// tests assert this invariant.
+	Fallbacks int64
+}
+
+// telemetry collects per-iteration counters across the concurrently
+// running vertices. Slices are fixed-size; iterations beyond the cap are
+// executed but not recorded (far beyond any w.h.p. bound).
+type telemetry struct {
+	cand, accept, term []atomic.Int32
+}
+
+const telemetryCap = 4096
+
+func newTelemetry() *telemetry {
+	return &telemetry{
+		cand:   make([]atomic.Int32, telemetryCap),
+		accept: make([]atomic.Int32, telemetryCap),
+		term:   make([]atomic.Int32, telemetryCap),
+	}
+}
+
+func (t *telemetry) stats(maxIter int) []IterationStat {
+	if maxIter+1 > telemetryCap {
+		maxIter = telemetryCap - 1
+	}
+	out := make([]IterationStat, maxIter+1)
+	for i := range out {
+		out[i] = IterationStat{
+			Candidates: int(t.cand[i].Load()),
+			Accepted:   int(t.accept[i].Load()),
+			Terminated: int(t.term[i].Load()),
+		}
+	}
+	return out
+}
+
+func (t *telemetry) bump(arr []atomic.Int32, iter int) {
+	if iter < telemetryCap {
+		arr[iter].Add(1)
+	}
+}
+
+// variant captures what differs between the undirected flavors of the
+// algorithm: plain (Theorem 1.3), weighted (Theorem 4.12), and
+// client-server (Theorem 4.15).
+type variant struct {
+	// target reports whether edge i needs covering (client edges in the
+	// client-server problem, every edge otherwise).
+	target func(i int) bool
+	// starEdge reports whether edge i may participate in a star (server
+	// edges in the client-server problem, every edge otherwise).
+	starEdge func(i int) bool
+	// directAdd reports whether edge i may be added directly to the
+	// spanner at termination (client ∩ server edges in the client-server
+	// problem, every edge otherwise).
+	directAdd func(i int) bool
+	// candidateOK is the minimum raw density for candidacy.
+	candidateOK func(raw float64) bool
+	// terminal decides termination from the 2-hop maxima of raw density
+	// and incident edge weight.
+	terminal func(maxRaw, maxWeight float64) bool
+}
+
+// TwoSpanner runs the paper's distributed minimum 2-spanner algorithm
+// (Section 4) on the connected undirected graph g. If g is weighted the
+// weighted variant (Section 4.3.2) runs, including its zero-weight edge
+// pre-pass; otherwise the unweighted algorithm of Theorem 1.3 runs.
+func TwoSpanner(g *graph.Graph, opts Options) (*Result, error) {
+	all := func(int) bool { return true }
+	v := variant{
+		target:      all,
+		starEdge:    all,
+		directAdd:   all,
+		candidateOK: func(raw float64) bool { return raw >= 1 },
+		terminal:    func(maxRaw, _ float64) bool { return maxRaw <= 1 },
+	}
+	if g.Weighted() {
+		v.candidateOK = func(raw float64) bool { return raw > 0 }
+		v.terminal = func(maxRaw, maxWeight float64) bool {
+			if maxWeight <= 0 {
+				return true
+			}
+			return maxRaw <= 1/maxWeight
+		}
+	}
+	return runUndirected(g, v, opts)
+}
+
+// ClientServerTwoSpanner runs the client-server variant (Section 4.3.3):
+// cover every client edge using only server edges. Client edges with no
+// possible server cover are left uncovered, matching the paper's
+// convention; use span.CoverableClients to identify them.
+func ClientServerTwoSpanner(g *graph.Graph, clients, servers *graph.EdgeSet, opts Options) (*Result, error) {
+	if clients == nil || servers == nil {
+		return nil, errors.New("core: client-server variant requires client and server edge sets")
+	}
+	if clients.Universe() != g.M() || servers.Universe() != g.M() {
+		return nil, fmt.Errorf("core: edge set universes must equal M()=%d", g.M())
+	}
+	if g.Weighted() {
+		return nil, errors.New("core: client-server variant is unweighted in the paper")
+	}
+	v := variant{
+		target:      clients.Has,
+		starEdge:    servers.Has,
+		directAdd:   func(i int) bool { return clients.Has(i) && servers.Has(i) },
+		candidateOK: func(raw float64) bool { return raw >= 0.5 },
+		terminal:    func(maxRaw, _ float64) bool { return maxRaw < 0.5 },
+	}
+	return runUndirected(g, v, opts)
+}
+
+func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
+	n := g.N()
+	outs := make([][]int, n)   // per-vertex incident spanner edge indices
+	iters := make([]int, n)    // per-vertex iteration counts
+	var fallbacks atomic.Int64 // Claim 4.4 fallback counter
+	tele := newTelemetry()
+	proc := func(ctx *dist.Ctx) {
+		nd := newUndirectedNode(ctx, g, v, outs, iters, &fallbacks)
+		nd.opts = opts
+		nd.tele = tele
+		nd.run()
+	}
+	stats, err := dist.Run(dist.Config{Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds}, proc)
+	if err != nil {
+		return nil, err
+	}
+	spanner := graph.NewEdgeSet(g.M())
+	for _, edges := range outs {
+		for _, e := range edges {
+			spanner.Add(e)
+		}
+	}
+	maxIter := 0
+	for _, it := range iters {
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	return &Result{
+		Spanner:      spanner,
+		Cost:         g.TotalWeight(spanner),
+		Stats:        *stats,
+		Iterations:   maxIter,
+		PerIteration: tele.stats(maxIter),
+		Fallbacks:    fallbacks.Load(),
+	}, nil
+}
+
+// roundCtx is the per-vertex network surface the protocol needs. It is
+// satisfied by *dist.Ctx (the LOCAL implementation) and by *congestCtx
+// (the fragmenting CONGEST adapter of Section 1.3's discussion).
+type roundCtx interface {
+	ID() int
+	N() int
+	Neighbors() []int
+	Rand() *rand.Rand
+	Send(to int, p dist.Payload)
+	Broadcast(p dist.Payload)
+	NextRound() []dist.Message
+}
+
+// undirectedNode is the per-vertex state of the protocol.
+type undirectedNode struct {
+	ctx       roundCtx
+	g         *graph.Graph
+	v         variant
+	opts      Options
+	outs      [][]int
+	iters     []int
+	fallbacks *atomic.Int64
+	tele      *telemetry // may be nil (the CONGEST path sets its own)
+
+	me      int
+	nbrs    []int // sorted neighbor ids
+	nbrSet  map[int]bool
+	edgeOf  map[int]int // neighbor id -> incident edge index
+	covered map[int]bool
+	inSpan  map[int]bool
+
+	wasCand  bool
+	lastRho  float64
+	prevStar []int // neighbor ids of last chosen star (selectable + free)
+}
+
+func newUndirectedNode(ctx roundCtx, g *graph.Graph, v variant, outs [][]int, iters []int, fb *atomic.Int64) *undirectedNode {
+	me := ctx.ID()
+	nd := &undirectedNode{
+		ctx: ctx, g: g, v: v, outs: outs, iters: iters, fallbacks: fb,
+		me:      me,
+		nbrs:    ctx.Neighbors(),
+		nbrSet:  make(map[int]bool),
+		edgeOf:  make(map[int]int),
+		covered: make(map[int]bool),
+		inSpan:  make(map[int]bool),
+	}
+	for _, u := range nd.nbrs {
+		idx, ok := g.EdgeIndex(me, u)
+		if !ok {
+			panic("core: neighbor without edge")
+		}
+		nd.nbrSet[u] = true
+		nd.edgeOf[u] = idx
+		if !v.target(idx) {
+			// Non-target edges never need covering.
+			nd.covered[u] = true
+		}
+		if g.Weighted() && g.Weight(idx) == 0 && v.starEdge(idx) {
+			// Weighted pre-pass: all zero-weight edges join the spanner.
+			nd.inSpan[u] = true
+		}
+	}
+	return nd
+}
+
+func (nd *undirectedNode) run() {
+	n := nd.ctx.N()
+	for iter := 0; ; iter++ {
+		nd.iters[nd.me] = iter
+
+		// Phase G': exchange incident spanner lists, update coverage.
+		nd.ctx.Broadcast(spanListMsg{nbrs: setToSorted(nd.inSpan), n: n})
+		spanOf := make(map[int]map[int]bool)
+		for _, m := range nd.ctx.NextRound() {
+			spanOf[m.From] = sliceToSet(m.Payload.(spanListMsg).nbrs)
+		}
+		nd.updateCoverage(spanOf)
+
+		// Phase A: exchange uncovered incident target edges; build H_v.
+		uncov := nd.uncoveredNbrs()
+		nd.ctx.Broadcast(uncovMsg{nbrs: uncov, n: n})
+		var hEdges [][2]int
+		for _, m := range nd.ctx.NextRound() {
+			u := m.From
+			for _, w := range m.Payload.(uncovMsg).nbrs {
+				if nd.nbrSet[w] && u < w {
+					hEdges = append(hEdges, [2]int{u, w})
+				}
+			}
+		}
+		view := nd.buildView(hEdges)
+		sel, _ := view.densestStar(nil)
+		raw, num, den := 0.0, 0, 1
+		if sel != nil {
+			if s, c := view.starValue(sel); c > 0 {
+				// The canonical raw density is this division; in the
+				// unweighted case (s, c) are exact integers, which the
+				// CONGEST adapter ships verbatim so every vertex computes
+				// bit-identical values.
+				raw = s / c
+				num, den = int(s+0.5), int(c+0.5)
+			}
+		}
+		rho := RoundUpPow2(raw)
+		if nd.opts.NoRounding {
+			rho = raw
+		}
+
+		// Phase B: broadcast densities; compute 1-hop maxima. Rounding is
+		// monotone, so the max rounded density is the rounding of the max
+		// raw density and need not travel separately.
+		myWmax := nd.incidentWmax()
+		nd.ctx.Broadcast(densMsg{rho: rho, raw: raw, wmax: myWmax, num: num, den: den})
+		hopRaw, hopW := raw, myWmax
+		hopNum, hopDen := num, den
+		for _, m := range nd.ctx.NextRound() {
+			d := m.Payload.(densMsg)
+			if d.raw > hopRaw {
+				hopRaw, hopNum, hopDen = d.raw, d.num, d.den
+			}
+			hopW = maxf(hopW, d.wmax)
+		}
+
+		// Phase C: broadcast 1-hop maxima; compute 2-hop maxima.
+		nd.ctx.Broadcast(maxMsg{rho: RoundUpPow2(hopRaw), raw: hopRaw, wmax: hopW, num: hopNum, den: hopDen})
+		m2Raw, m2W := hopRaw, hopW
+		for _, m := range nd.ctx.NextRound() {
+			d := m.Payload.(maxMsg)
+			m2Raw = maxf(m2Raw, d.raw)
+			m2W = maxf(m2W, d.wmax)
+		}
+		m2Rho := RoundUpPow2(m2Raw)
+		if nd.opts.NoRounding {
+			m2Rho = m2Raw
+		}
+
+		// Termination (paper step 7): the maximal density in the
+		// 2-neighborhood fell below the useful threshold. Add the remaining
+		// uncovered incident edges directly and halt.
+		if nd.v.terminal(m2Raw, m2W) {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.term, iter)
+			}
+			var added []int
+			for _, u := range nd.nbrs {
+				if !nd.covered[u] && nd.v.directAdd(nd.edgeOf[u]) {
+					nd.inSpan[u] = true
+					nd.covered[u] = true
+					added = append(added, u)
+				}
+			}
+			nd.ctx.Broadcast(termMsg{added: added, n: n})
+			nd.ctx.NextRound() // flush phase D
+			nd.emitOutput()
+			return
+		}
+
+		// Phase D: candidates choose and announce stars.
+		isCand := rho > 0 && rho >= m2Rho && nd.v.candidateOK(raw)
+		var myStar []int
+		mySpanCount := 0
+		if isCand {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.cand, iter)
+			}
+			var prev []bool
+			if !nd.opts.FreshStars && nd.wasCand && nd.lastRho == rho && nd.prevStar != nil {
+				prev = view.maskFromIDs(nd.prevStar)
+			}
+			sel, fb := view.chooseStar(rho, prev)
+			if fb {
+				nd.fallbacks.Add(1)
+			}
+			myStar = view.starNeighborIDs(sel)
+			spanned, _ := view.starValue(sel)
+			mySpanCount = int(spanned + 0.5)
+			nd.ctx.Broadcast(starMsg{star: myStar, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: n})
+			nd.wasCand, nd.lastRho = true, rho
+			nd.prevStar = myStar
+		} else {
+			nd.wasCand = false
+			nd.prevStar = nil
+		}
+
+		// Phase D inbox: neighbor terminations and candidate stars.
+		type candidate struct {
+			star map[int]bool
+			r    int64
+		}
+		cands := make(map[int]candidate)
+		for _, m := range nd.ctx.NextRound() {
+			switch p := m.Payload.(type) {
+			case termMsg:
+				for _, w := range p.added {
+					if w == nd.me {
+						nd.inSpan[m.From] = true
+						nd.covered[m.From] = true
+					}
+				}
+			case starMsg:
+				cands[m.From] = candidate{star: sliceToSet(p.star), r: p.r}
+			}
+		}
+
+		// Phase E: each owned uncovered edge votes for the first candidate
+		// (by (r, id)) that 2-spans it.
+		votes := make(map[int][][2]int)
+		for _, u := range nd.nbrs {
+			if nd.covered[u] || nd.me > u {
+				continue // not an owner, or nothing to vote for
+			}
+			bestV, bestR := -1, int64(0)
+			for vid, c := range cands {
+				if !c.star[nd.me] || !c.star[u] {
+					continue
+				}
+				if bestV < 0 || c.r < bestR || (c.r == bestR && vid < bestV) {
+					bestV, bestR = vid, c.r
+				}
+			}
+			if bestV >= 0 {
+				votes[bestV] = append(votes[bestV], [2]int{nd.me, u})
+			}
+		}
+		for vid, es := range votes {
+			nd.ctx.Send(vid, voteMsg{edges: es, n: n})
+		}
+
+		// Phase E inbox: my votes (if candidate); accept if >= |C_v|/8.
+		myVotes := 0
+		for _, m := range nd.ctx.NextRound() {
+			myVotes += len(m.Payload.(voteMsg).edges)
+		}
+		if isCand && nd.opts.voteDenominator()*myVotes >= mySpanCount && mySpanCount > 0 {
+			if nd.tele != nil {
+				nd.tele.bump(nd.tele.accept, iter)
+			}
+			for _, u := range myStar {
+				nd.inSpan[u] = true
+			}
+			nd.ctx.Broadcast(acceptMsg{star: myStar, n: n})
+		}
+
+		// Phase F inbox: accepted stars of neighbors.
+		for _, m := range nd.ctx.NextRound() {
+			p, ok := m.Payload.(acceptMsg)
+			if !ok {
+				continue
+			}
+			for _, w := range p.star {
+				if w == nd.me {
+					nd.inSpan[m.From] = true
+				}
+			}
+		}
+	}
+}
+
+// updateCoverage marks incident target edges covered when the spanner
+// contains them or a 2-path around them.
+func (nd *undirectedNode) updateCoverage(spanOf map[int]map[int]bool) {
+	for _, u := range nd.nbrs {
+		if nd.covered[u] {
+			continue
+		}
+		if nd.inSpan[u] {
+			nd.covered[u] = true
+			continue
+		}
+		for x, viaX := range spanOf {
+			if nd.inSpan[x] && viaX[u] {
+				nd.covered[u] = true
+				break
+			}
+		}
+	}
+}
+
+func (nd *undirectedNode) uncoveredNbrs() []int {
+	var out []int
+	for _, u := range nd.nbrs {
+		if !nd.covered[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// buildView assembles the localView: selectable star edges with their
+// costs, free (zero-weight) star edges, and the uncovered H_v edges.
+func (nd *undirectedNode) buildView(hEdges [][2]int) *localView {
+	selectable := make(map[int]float64)
+	var free []int
+	for _, u := range nd.nbrs {
+		idx := nd.edgeOf[u]
+		if !nd.v.starEdge(idx) {
+			continue
+		}
+		w := nd.g.Weight(idx)
+		if w == 0 {
+			free = append(free, u)
+		} else {
+			selectable[u] = w
+		}
+	}
+	return newLocalView(selectable, free, hEdges)
+}
+
+// incidentWmax returns the largest weight among incident edges (1 for
+// unweighted graphs), feeding the weighted termination rule.
+func (nd *undirectedNode) incidentWmax() float64 {
+	w := 0.0
+	for _, u := range nd.nbrs {
+		w = maxf(w, nd.g.Weight(nd.edgeOf[u]))
+	}
+	return w
+}
+
+func (nd *undirectedNode) emitOutput() {
+	var out []int
+	for u, in := range nd.inSpan {
+		if in {
+			out = append(out, nd.edgeOf[u])
+		}
+	}
+	sort.Ints(out)
+	nd.outs[nd.me] = out
+}
+
+func setToSorted(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k, v := range set {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sliceToSet(s []int) map[int]bool {
+	set := make(map[int]bool, len(s))
+	for _, x := range s {
+		set[x] = true
+	}
+	return set
+}
+
+func maxf(a, b float64) float64 {
+	if a >= b {
+		return a
+	}
+	return b
+}

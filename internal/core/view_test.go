@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundUpPow2(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {-3, 0},
+		{0.3, 0.5}, {0.5, 1}, {0.75, 1},
+		{1, 2}, {1.5, 2}, {2, 4}, {3, 4}, {4, 8}, {7.9, 8}, {8, 16},
+		{0.25, 0.5}, {0.125, 0.25},
+	}
+	for _, c := range cases {
+		if got := RoundUpPow2(c.in); got != c.want {
+			t.Fatalf("RoundUpPow2(%f) = %f, want %f (strictly greater power of 2)", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLocalViewDensity(t *testing.T) {
+	// Neighbors 10, 20, 30 with unit costs; H_v edges {10,20} and {20,30}.
+	sel := map[int]float64{10: 1, 20: 1, 30: 1}
+	v := newLocalView(sel, nil, [][2]int{{10, 20}, {20, 30}})
+	full := []bool{true, true, true}
+	s, c := v.starValue(full)
+	if s != 2 || c != 3 {
+		t.Fatalf("full star value = (%f, %f), want (2, 3)", s, c)
+	}
+	// The densest star is the full star here: 2/3. Any pair gives 1/2.
+	mask, d := v.densestStar(nil)
+	if math.Abs(d-2.0/3.0) > 1e-9 {
+		t.Fatalf("densest density = %f, want 2/3", d)
+	}
+	for p, in := range mask {
+		if !in {
+			t.Fatalf("densest star must select all neighbors, missing position %d", p)
+		}
+	}
+}
+
+func TestLocalViewDensestPrefersCore(t *testing.T) {
+	// Neighbors 1..5; H_v forms a K4 on {1,2,3,4} (6 edges) and a pendant
+	// edge {1,5}. Densest star is {1,2,3,4}: 6/4 > 7/5.
+	sel := map[int]float64{1: 1, 2: 1, 3: 1, 4: 1, 5: 1}
+	var h [][2]int
+	for a := 1; a <= 4; a++ {
+		for b := a + 1; b <= 4; b++ {
+			h = append(h, [2]int{a, b})
+		}
+	}
+	h = append(h, [2]int{1, 5})
+	v := newLocalView(sel, nil, h)
+	mask, d := v.densestStar(nil)
+	if math.Abs(d-1.5) > 1e-9 {
+		t.Fatalf("densest density = %f, want 1.5", d)
+	}
+	if mask[v.pos[5]] {
+		t.Fatal("pendant neighbor must not be in the densest star")
+	}
+}
+
+func TestLocalViewFreeNeighborsBonuses(t *testing.T) {
+	// Free neighbor 99 (zero-weight star edge); selectable 1 with an H
+	// edge to 99: bonus of 1 at cost of 1's weight.
+	sel := map[int]float64{1: 2}
+	v := newLocalView(sel, []int{99}, [][2]int{{1, 99}})
+	if v.bonus[v.pos[1]] != 1 {
+		t.Fatalf("bonus = %f, want 1", v.bonus[v.pos[1]])
+	}
+	mask, d := v.densestStar(nil)
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("density = %f, want 1/2 (one edge per weight 2)", d)
+	}
+	ids := v.starNeighborIDs(mask)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 99 {
+		t.Fatalf("star ids = %v, want [1 99] (free neighbors always included)", ids)
+	}
+}
+
+func TestChooseStarFreshMeetsThreshold(t *testing.T) {
+	// rho rounded = 2 for raw densities in (1, 2]; chosen star must have
+	// density >= rho/4 = 0.5.
+	sel := map[int]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	h := [][2]int{{1, 2}, {2, 3}, {3, 4}, {1, 4}, {1, 3}}
+	v := newLocalView(sel, nil, h)
+	_, raw := v.densestStar(nil)
+	rho := RoundUpPow2(raw)
+	mask, fb := v.chooseStar(rho, nil)
+	if fb {
+		t.Fatal("fresh choice must not fall back")
+	}
+	if d := v.density(mask); d < rho/4-1e-9 {
+		t.Fatalf("chosen star density %f < rho/4 = %f", d, rho/4)
+	}
+}
+
+func TestChooseStarExtensionAddsDisjoint(t *testing.T) {
+	// Two disjoint triangles among neighbors: {1,2,3} and {4,5,6}, each
+	// with 3 H-edges (density 1). The densest star is one triangle; the
+	// extension rule must absorb the other (density 1 >= rho/4 = 0.5).
+	sel := map[int]float64{1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1}
+	h := [][2]int{{1, 2}, {2, 3}, {1, 3}, {4, 5}, {5, 6}, {4, 6}}
+	v := newLocalView(sel, nil, h)
+	_, raw := v.densestStar(nil)
+	rho := RoundUpPow2(raw) // raw = 1, rho = 2
+	mask, fb := v.chooseStar(rho, nil)
+	if fb {
+		t.Fatal("unexpected fallback")
+	}
+	count := 0
+	for _, in := range mask {
+		if in {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Fatalf("extension selected %d neighbors, want all 6 (disjoint star absorbed)", count)
+	}
+}
+
+func TestChooseStarShrinkPath(t *testing.T) {
+	// Previous star {1,2,3} with old H; new H lost edge {1,2} but keeps
+	// {2,3}: density of prev under new H is 1/3 >= rho/4 when rho <= 4/3.
+	sel := map[int]float64{1: 1, 2: 1, 3: 1}
+	v := newLocalView(sel, nil, [][2]int{{2, 3}})
+	prev := []bool{true, true, true}
+	rho := 1.0 // threshold 0.25; prev density = 1/3 >= 0.25: keep prev
+	mask, fb := v.chooseStar(rho, prev)
+	if fb {
+		t.Fatal("unexpected fallback")
+	}
+	for p, in := range prev {
+		if mask[p] != in {
+			t.Fatal("shrink path must keep the previous star when still dense enough")
+		}
+	}
+	// With rho = 2 (threshold 0.5), prev density 1/3 < 0.5: shrink to the
+	// densest sub-star {2,3} (density 1/2).
+	mask2, fb2 := v.chooseStar(2, prev)
+	if fb2 {
+		t.Fatal("unexpected fallback on shrink")
+	}
+	if mask2[v.pos[1]] {
+		t.Fatal("shrunken star must drop neighbor 1")
+	}
+	if !mask2[v.pos[2]] || !mask2[v.pos[3]] {
+		t.Fatal("shrunken star must keep the dense pair {2,3}")
+	}
+}
+
+func TestChooseStarShrinkNeverGrows(t *testing.T) {
+	// The shrink path must never select outside prev even when denser
+	// stars exist elsewhere.
+	sel := map[int]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	// Dense pair {3,4} outside prev; prev = {1,2} with one edge.
+	v := newLocalView(sel, nil, [][2]int{{1, 2}, {3, 4}})
+	prev := []bool{true, true, false, false}
+	mask, fb := v.chooseStar(2, prev) // threshold 0.5; prev density 1/2: kept
+	if fb {
+		t.Fatal("unexpected fallback")
+	}
+	if mask[v.pos[3]] || mask[v.pos[4]] {
+		t.Fatal("shrink path escaped the previous star")
+	}
+}

@@ -1,0 +1,96 @@
+package decomp
+
+import (
+	"testing"
+
+	"distspanner/internal/gen"
+)
+
+func TestDistributedLinialSaksCoversAll(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.ConnectedGNP(40, 0.1, seed)
+		d, stats, err := DistributedLinialSaks(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if d.Cluster[v] == -1 || d.Color[v] == -1 {
+				t.Fatalf("seed %d: vertex %d unclustered", seed, v)
+			}
+		}
+		if stats.Rounds == 0 || stats.Messages == 0 {
+			t.Fatal("no communication recorded")
+		}
+	}
+}
+
+func TestDistributedLinialSaksProperColoring(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.ConnectedGNP(36, 0.12, seed+50)
+		d, _, err := DistributedLinialSaks(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.M(); i++ {
+			e := g.Edge(i)
+			if d.Cluster[e.U] != d.Cluster[e.V] && d.Color[e.U] == d.Color[e.V] {
+				t.Fatalf("seed %d: adjacent clusters share color %d", seed, d.Color[e.U])
+			}
+		}
+	}
+}
+
+func TestDistributedLinialSaksWeakDiameter(t *testing.T) {
+	g := gen.ConnectedGNP(60, 0.08, 9)
+	d, _, err := DistributedLinialSaks(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd := d.WeakDiameter(g); wd == -1 || wd > 30 {
+		t.Fatalf("weak diameter %d exceeds O(log n) expectation", wd)
+	}
+	if d.NumColors > 40 {
+		t.Fatalf("%d colors exceeds O(log n) expectation", d.NumColors)
+	}
+}
+
+func TestDistributedLinialSaksMessagesAreLocalSized(t *testing.T) {
+	// Token floods carry lists: the protocol is a LOCAL algorithm, and on
+	// dense graphs its messages exceed a CONGEST word.
+	g := gen.ConnectedGNP(50, 0.3, 2)
+	_, stats, err := DistributedLinialSaks(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMessageBits <= 64 {
+		t.Fatalf("expected LOCAL-sized token messages, max = %d bits", stats.MaxMessageBits)
+	}
+}
+
+func TestDistributedLinialSaksDeterministic(t *testing.T) {
+	g := gen.Grid(5, 6)
+	a, _, err := DistributedLinialSaks(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := DistributedLinialSaks(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.Cluster[v] != b.Cluster[v] || a.Color[v] != b.Color[v] {
+			t.Fatal("distributed decomposition not deterministic per seed")
+		}
+	}
+}
+
+func TestDistributedLinialSaksSingleton(t *testing.T) {
+	g := gen.Path(1)
+	d, _, err := DistributedLinialSaks(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cluster[0] != 0 {
+		t.Fatalf("singleton must self-cluster, got %d", d.Cluster[0])
+	}
+}

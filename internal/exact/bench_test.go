@@ -1,0 +1,33 @@
+package exact
+
+import (
+	"testing"
+
+	"distspanner/internal/gen"
+)
+
+func BenchmarkMinSpannerSmall(b *testing.B) {
+	g := gen.ConnectedGNP(9, 0.45, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MinSpanner(g, SpannerOptions{K: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinVertexCover(b *testing.B) {
+	g := gen.GNP(18, 0.3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinVertexCover(g)
+	}
+}
+
+func BenchmarkMinDominatingSet(b *testing.B) {
+	g := gen.ConnectedGNP(18, 0.25, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinDominatingSet(g)
+	}
+}

@@ -1,0 +1,221 @@
+package exact
+
+import (
+	"math"
+	"sort"
+
+	"distspanner/internal/graph"
+)
+
+// MinVertexCover computes a minimum vertex cover of g by branch-and-bound,
+// returning the sorted cover. Intended for small graphs (n up to roughly
+// 40). The lower-bound prune uses a greedy maximal matching: every matched
+// edge needs at least one endpoint in any cover.
+func MinVertexCover(g *graph.Graph) []int {
+	n := g.N()
+	inCover := make([]bool, n)
+	// Upper bound: greedy 2-approximation (take both endpoints of a
+	// maximal matching).
+	best := greedyVertexCover(g)
+	bestSize := len(best)
+
+	var rec func(size int)
+	rec = func(size int) {
+		if size+matchingLowerBound(g, inCover) >= bestSize {
+			return
+		}
+		// Find an uncovered edge.
+		edge := -1
+		for i := 0; i < g.M(); i++ {
+			e := g.Edge(i)
+			if !inCover[e.U] && !inCover[e.V] {
+				edge = i
+				break
+			}
+		}
+		if edge < 0 {
+			if size < bestSize {
+				bestSize = size
+				best = best[:0]
+				for v := 0; v < n; v++ {
+					if inCover[v] {
+						best = append(best, v)
+					}
+				}
+			}
+			return
+		}
+		e := g.Edge(edge)
+		for _, v := range []int{e.U, e.V} {
+			inCover[v] = true
+			rec(size + 1)
+			inCover[v] = false
+		}
+	}
+	rec(0)
+	out := make([]int, len(best))
+	copy(out, best)
+	sort.Ints(out)
+	return out
+}
+
+func greedyVertexCover(g *graph.Graph) []int {
+	covered := make([]bool, g.N())
+	var cover []int
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		if !covered[e.U] && !covered[e.V] {
+			covered[e.U], covered[e.V] = true, true
+			cover = append(cover, e.U, e.V)
+		}
+	}
+	return cover
+}
+
+// matchingLowerBound returns the size of a greedy matching among edges with
+// both endpoints outside the partial cover: each needs one more vertex.
+func matchingLowerBound(g *graph.Graph, inCover []bool) int {
+	used := make(map[int]bool, g.N())
+	lb := 0
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		if inCover[e.U] || inCover[e.V] || used[e.U] || used[e.V] {
+			continue
+		}
+		used[e.U], used[e.V] = true, true
+		lb++
+	}
+	return lb
+}
+
+// MinSetCover computes a minimum-weight set cover: pick a sub-collection of
+// sets covering every element of [0, universe) minimizing total weight.
+// weights nil means unit weights. It returns the chosen set indices
+// (sorted) and the total weight; it returns nil if some element is
+// uncoverable.
+func MinSetCover(universe int, sets [][]int, weights []float64) ([]int, float64) {
+	if weights == nil {
+		weights = make([]float64, len(sets))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	// coveredBy[e] lists the sets containing element e.
+	coveredBy := make([][]int, universe)
+	for si, set := range sets {
+		for _, e := range set {
+			coveredBy[e] = append(coveredBy[e], si)
+		}
+	}
+	for e := 0; e < universe; e++ {
+		if len(coveredBy[e]) == 0 {
+			return nil, 0
+		}
+	}
+	coverCount := make([]int, universe)
+	chosen := make([]bool, len(sets))
+
+	// Greedy incumbent: cheapest cost-per-new-element.
+	bestSets, bestCost := greedySetCover(universe, sets, weights)
+
+	var rec func(cost float64, uncovered int)
+	rec = func(cost float64, uncovered int) {
+		if cost >= bestCost-1e-12 {
+			return
+		}
+		if uncovered == 0 {
+			bestCost = cost
+			bestSets = bestSets[:0]
+			for si, c := range chosen {
+				if c {
+					bestSets = append(bestSets, si)
+				}
+			}
+			return
+		}
+		// First-fail: uncovered element with fewest candidate sets.
+		bestE, bestLen := -1, math.MaxInt
+		for e := 0; e < universe; e++ {
+			if coverCount[e] == 0 && len(coveredBy[e]) < bestLen {
+				bestE, bestLen = e, len(coveredBy[e])
+			}
+		}
+		options := append([]int(nil), coveredBy[bestE]...)
+		sort.Slice(options, func(i, j int) bool { return weights[options[i]] < weights[options[j]] })
+		for _, si := range options {
+			if chosen[si] {
+				continue // would already have covered bestE
+			}
+			chosen[si] = true
+			newlyCovered := 0
+			for _, e := range sets[si] {
+				if coverCount[e] == 0 {
+					newlyCovered++
+				}
+				coverCount[e]++
+			}
+			rec(cost+weights[si], uncovered-newlyCovered)
+			for _, e := range sets[si] {
+				coverCount[e]--
+			}
+			chosen[si] = false
+		}
+	}
+	rec(0, universe)
+	out := make([]int, len(bestSets))
+	copy(out, bestSets)
+	sort.Ints(out)
+	return out, bestCost
+}
+
+func greedySetCover(universe int, sets [][]int, weights []float64) ([]int, float64) {
+	covered := make([]bool, universe)
+	remaining := universe
+	var picked []int
+	cost := 0.0
+	for remaining > 0 {
+		bestSet, bestRatio, bestNew := -1, math.Inf(1), 0
+		for si, set := range sets {
+			newCount := 0
+			for _, e := range set {
+				if !covered[e] {
+					newCount++
+				}
+			}
+			if newCount == 0 {
+				continue
+			}
+			ratio := weights[si] / float64(newCount)
+			if ratio < bestRatio {
+				bestSet, bestRatio, bestNew = si, ratio, newCount
+			}
+		}
+		if bestSet < 0 {
+			return nil, math.Inf(1) // uncoverable; caller pre-checks
+		}
+		picked = append(picked, bestSet)
+		cost += weights[bestSet]
+		remaining -= bestNew
+		for _, e := range sets[bestSet] {
+			covered[e] = true
+		}
+	}
+	return picked, cost
+}
+
+// MinDominatingSet computes a minimum dominating set of g exactly via the
+// set-cover solver (closed neighborhoods as sets). Intended for small
+// graphs.
+func MinDominatingSet(g *graph.Graph) []int {
+	n := g.N()
+	sets := make([][]int, n)
+	for v := 0; v < n; v++ {
+		set := []int{v}
+		for _, arc := range g.Adj(v) {
+			set = append(set, arc.To)
+		}
+		sets[v] = set
+	}
+	chosen, _ := MinSetCover(n, sets, nil)
+	return chosen
+}

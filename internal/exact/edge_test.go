@@ -1,0 +1,114 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+	"distspanner/internal/span"
+)
+
+func TestMinSpannerCoverCapReturnsTooLarge(t *testing.T) {
+	// A dense clique at k=3 has far more than 3 covering paths per edge.
+	g := gen.Clique(8)
+	_, _, err := MinSpanner(g, SpannerOptions{K: 3, MaxCovers: 3})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge on cover cap, got %v", err)
+	}
+}
+
+func TestMinSpannerNodeCap(t *testing.T) {
+	g := gen.Clique(9)
+	_, _, err := MinSpanner(g, SpannerOptions{K: 2, MaxNodes: 1})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge on node cap, got %v", err)
+	}
+}
+
+func TestMinSpannerEmptyTarget(t *testing.T) {
+	g := gen.Clique(4)
+	empty := graph.NewEdgeSet(g.M())
+	h, cost, err := MinSpanner(g, SpannerOptions{K: 2, Target: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || h.Len() != 0 {
+		t.Fatalf("empty target must cost 0, got %f with %d edges", cost, h.Len())
+	}
+}
+
+func TestMinSpannerStretchOneKeepsTargets(t *testing.T) {
+	// At k=1, every target edge can only be covered by itself.
+	g := gen.ConnectedGNP(8, 0.5, 1)
+	h, cost, err := MinSpanner(g, SpannerOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(cost) != g.M() || h.Len() != g.M() {
+		t.Fatalf("k=1 must keep all %d edges, got %d", g.M(), h.Len())
+	}
+}
+
+func TestMinSpannerWeightedTieAmongPaths(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3 plus chord 0-3 (weight 3). Both 2-paths
+	// cost 2; the solver must pick one, not both.
+	g := graph.New(4)
+	e01 := g.AddEdge(0, 1)
+	e13 := g.AddEdge(1, 3)
+	e02 := g.AddEdge(0, 2)
+	e23 := g.AddEdge(2, 3)
+	chord := g.AddEdge(0, 3)
+	for _, e := range []int{e01, e13, e02, e23} {
+		g.SetWeight(e, 1)
+	}
+	g.SetWeight(chord, 3)
+	h, cost, err := MinSpanner(g, SpannerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsKSpanner(g, h, 2) {
+		t.Fatal("invalid spanner")
+	}
+	// OPT: all four cheap edges (the side paths also need covering: each
+	// weight-1 edge needs itself or a 2-path; the two 2-paths cover the
+	// chord; each cheap edge's only cheap cover is itself) => cost 4.
+	if cost != 4 {
+		t.Fatalf("cost = %f, want 4", cost)
+	}
+	if h.Has(chord) {
+		t.Fatal("chord should be covered by a 2-path, not kept")
+	}
+}
+
+func TestMinDirectedSpannerClientServer(t *testing.T) {
+	// Directed square with a directed chord as the only target.
+	d := graph.NewDigraph(3)
+	a := d.AddEdge(0, 1)
+	b := d.AddEdge(1, 2)
+	c := d.AddEdge(0, 2)
+	target := graph.NewEdgeSet(d.M())
+	target.Add(c)
+	allowed := graph.NewEdgeSet(d.M())
+	allowed.Add(a)
+	allowed.Add(b)
+	h, cost, err := MinDirectedSpanner(d, SpannerOptions{K: 2, Target: target, Allowed: allowed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 || !h.Has(a) || !h.Has(b) || h.Has(c) {
+		t.Fatalf("directed client-server solution wrong: %v cost %f", h.Slice(), cost)
+	}
+}
+
+func TestMinSetCoverWeightedPrefersCheap(t *testing.T) {
+	sets := [][]int{{0}, {1}, {0, 1}}
+	chosen, cost := MinSetCover(2, sets, []float64{0.4, 0.4, 1.0})
+	if cost != 0.8 || len(chosen) != 2 {
+		t.Fatalf("chose %v at %f, want the two cheap singletons at 0.8", chosen, cost)
+	}
+	chosen, cost = MinSetCover(2, sets, []float64{0.6, 0.6, 1.0})
+	if cost != 1.0 || len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("chose %v at %f, want the big set at 1.0", chosen, cost)
+	}
+}

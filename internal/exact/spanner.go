@@ -1,0 +1,368 @@
+// Package exact provides exact (exponential-time) solvers for the
+// optimization problems the paper builds on: minimum k-spanner (undirected,
+// directed, weighted, client-server), minimum vertex cover, minimum
+// dominating set, and minimum set cover.
+//
+// They serve three purposes in the reproduction: measuring true
+// approximation ratios on small instances, machine-checking the lower-bound
+// gadget equalities (Claim 3.1), and performing the unbounded local
+// computations that the LOCAL-model (1+ε) algorithm of Section 6 is allowed
+// (finding optimal spanners of small balls). All solvers are branch-and-
+// bound with first-fail branching and are intended for small inputs.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"distspanner/internal/graph"
+)
+
+// ErrInfeasible is returned when some target edge cannot be covered by any
+// allowed path, so no solution exists.
+var ErrInfeasible = errors.New("exact: infeasible instance")
+
+// ErrTooLarge is returned when the instance exceeds the configured safety
+// caps for exhaustive search.
+var ErrTooLarge = errors.New("exact: instance too large for exact search")
+
+// SpannerOptions configures MinSpanner / MinDirectedSpanner.
+type SpannerOptions struct {
+	// K is the stretch. Must be >= 1.
+	K int
+	// Target is the set of edges that must be covered; nil means every edge
+	// of the graph (the classic minimum k-spanner).
+	Target *graph.EdgeSet
+	// Allowed is the set of edges the spanner may use; nil means every edge.
+	// Setting Target = client edges and Allowed = server edges yields the
+	// client-server k-spanner problem.
+	Allowed *graph.EdgeSet
+	// MaxCovers caps the number of candidate covering paths enumerated per
+	// target edge. Zero means the default of 5000.
+	MaxCovers int
+	// MaxNodes caps the number of branch-and-bound nodes explored. Zero
+	// means the default of 5,000,000.
+	MaxNodes int
+}
+
+type coverInstance struct {
+	m       int
+	weights []float64
+	targets [][]cover // covers per target
+	maxNode int
+}
+
+// cover is one way to satisfy a target: a set of edges that forms a path of
+// length at most k between the target's endpoints (possibly the target edge
+// itself).
+type cover []int
+
+// MinSpanner computes a minimum-cost k-spanner of g subject to opt,
+// returning the spanner and its cost. Costs use g's weights (1 per edge
+// when unweighted).
+func MinSpanner(g *graph.Graph, opt SpannerOptions) (*graph.EdgeSet, float64, error) {
+	if opt.K < 1 {
+		return nil, 0, fmt.Errorf("exact: stretch k=%d must be >= 1", opt.K)
+	}
+	allowed := opt.Allowed
+	if allowed == nil {
+		allowed = graph.Full(g.M())
+	}
+	target := opt.Target
+	if target == nil {
+		target = graph.Full(g.M())
+	}
+	inst := &coverInstance{m: g.M(), weights: make([]float64, g.M()), maxNode: defaultInt(opt.MaxNodes, 5_000_000)}
+	for i := 0; i < g.M(); i++ {
+		inst.weights[i] = g.Weight(i)
+	}
+	maxCovers := defaultInt(opt.MaxCovers, 5000)
+	var enumErr error
+	target.ForEach(func(i int) {
+		if enumErr != nil {
+			return
+		}
+		e := g.Edge(i)
+		covers, capped := enumerateCovers(undirectedPathGraph{g}, e.U, e.V, opt.K, allowed, maxCovers)
+		if capped {
+			enumErr = fmt.Errorf("%w: more than %d covers for target edge %d", ErrTooLarge, maxCovers, i)
+			return
+		}
+		if covers == nil {
+			enumErr = fmt.Errorf("%w: target edge %d has no allowed cover", ErrInfeasible, i)
+			return
+		}
+		inst.targets = append(inst.targets, covers)
+	})
+	if enumErr != nil {
+		return nil, 0, enumErr
+	}
+	return inst.solve()
+}
+
+// MinDirectedSpanner computes a minimum-cost k-spanner of the digraph d:
+// every target edge (u, v) must be covered by a directed path of length at
+// most k from u to v using only allowed edges.
+func MinDirectedSpanner(d *graph.Digraph, opt SpannerOptions) (*graph.EdgeSet, float64, error) {
+	if opt.K < 1 {
+		return nil, 0, fmt.Errorf("exact: stretch k=%d must be >= 1", opt.K)
+	}
+	allowed := opt.Allowed
+	if allowed == nil {
+		allowed = graph.Full(d.M())
+	}
+	target := opt.Target
+	if target == nil {
+		target = graph.Full(d.M())
+	}
+	inst := &coverInstance{m: d.M(), weights: make([]float64, d.M()), maxNode: defaultInt(opt.MaxNodes, 5_000_000)}
+	for i := 0; i < d.M(); i++ {
+		inst.weights[i] = d.Weight(i)
+	}
+	maxCovers := defaultInt(opt.MaxCovers, 5000)
+	var enumErr error
+	target.ForEach(func(i int) {
+		if enumErr != nil {
+			return
+		}
+		e := d.Edge(i)
+		covers, capped := enumerateCovers(directedPathGraph{d}, e.U, e.V, opt.K, allowed, maxCovers)
+		if capped {
+			enumErr = fmt.Errorf("%w: more than %d covers for target edge %d", ErrTooLarge, maxCovers, i)
+			return
+		}
+		if covers == nil {
+			enumErr = fmt.Errorf("%w: target edge %d has no allowed cover", ErrInfeasible, i)
+			return
+		}
+		inst.targets = append(inst.targets, covers)
+	})
+	if enumErr != nil {
+		return nil, 0, enumErr
+	}
+	return inst.solve()
+}
+
+// pathGraph abstracts undirected vs directed path enumeration.
+type pathGraph interface {
+	arcsFrom(v int) []graph.Arc
+}
+
+type undirectedPathGraph struct{ g *graph.Graph }
+
+func (u undirectedPathGraph) arcsFrom(v int) []graph.Arc { return u.g.Adj(v) }
+
+type directedPathGraph struct{ d *graph.Digraph }
+
+func (dg directedPathGraph) arcsFrom(v int) []graph.Arc { return dg.d.Out(v) }
+
+// enumerateCovers lists all simple paths from u to v of length at most k
+// using only allowed edges, as edge-id sets. The direct edge (target
+// itself), when allowed, appears as a singleton cover. It returns nil if no
+// cover exists and capped=true if the enumeration hit maxCovers (in which
+// case the list is incomplete and optimality cannot be guaranteed).
+func enumerateCovers(pg pathGraph, u, v, k int, allowed *graph.EdgeSet, maxCovers int) (out []cover, capped bool) {
+	var covers []cover
+	visited := map[int]bool{u: true}
+	var path []int
+	var dfs func(x, depth int)
+	dfs = func(x, depth int) {
+		if len(covers) >= maxCovers {
+			return
+		}
+		for _, arc := range pg.arcsFrom(x) {
+			if !allowed.Has(arc.Edge) {
+				continue
+			}
+			if arc.To == v {
+				c := make(cover, len(path)+1)
+				copy(c, path)
+				c[len(path)] = arc.Edge
+				covers = append(covers, c)
+				if len(covers) >= maxCovers {
+					return
+				}
+				continue
+			}
+			if depth+1 >= k || visited[arc.To] {
+				continue
+			}
+			visited[arc.To] = true
+			path = append(path, arc.Edge)
+			dfs(arc.To, depth+1)
+			path = path[:len(path)-1]
+			visited[arc.To] = false
+		}
+	}
+	dfs(u, 0)
+	if len(covers) == 0 {
+		return nil, false
+	}
+	return covers, len(covers) >= maxCovers
+}
+
+// solve runs branch-and-bound over the covering instance.
+func (inst *coverInstance) solve() (*graph.EdgeSet, float64, error) {
+	chosen := graph.NewEdgeSet(inst.m)
+	// Zero-weight edges are free: include them up front (they can only
+	// help and any optimal solution may include them at no cost).
+	for i := 0; i < inst.m; i++ {
+		if inst.weights[i] == 0 && inst.usable(i) {
+			chosen.Add(i)
+		}
+	}
+	// Initial upper bound from greedy: satisfy each target with its
+	// cheapest cover.
+	best := chosen.Clone()
+	bestCost := inst.greedy(best)
+
+	nodes := 0
+	var rec func(cost float64)
+	var tooLarge bool
+	rec = func(cost float64) {
+		if tooLarge {
+			return
+		}
+		nodes++
+		if nodes > inst.maxNode {
+			tooLarge = true
+			return
+		}
+		if cost >= bestCost-1e-12 {
+			return
+		}
+		ti, covers := inst.pickUnsatisfied(chosen)
+		if ti < 0 {
+			bestCost = cost
+			best = chosen.Clone()
+			return
+		}
+		// Branch over the covers of the chosen target, cheapest first.
+		type branch struct {
+			add []int
+			inc float64
+		}
+		branches := make([]branch, 0, len(covers))
+		for _, c := range covers {
+			var add []int
+			inc := 0.0
+			for _, e := range c {
+				if !chosen.Has(e) {
+					add = append(add, e)
+					inc += inst.weights[e]
+				}
+			}
+			branches = append(branches, branch{add: add, inc: inc})
+		}
+		sort.Slice(branches, func(i, j int) bool { return branches[i].inc < branches[j].inc })
+		for _, b := range branches {
+			if cost+b.inc >= bestCost-1e-12 {
+				continue
+			}
+			for _, e := range b.add {
+				chosen.Add(e)
+			}
+			rec(cost + b.inc)
+			for _, e := range b.add {
+				chosen.Remove(e)
+			}
+		}
+	}
+	rec(chosenCost(inst.weights, chosen))
+	if tooLarge {
+		return nil, 0, ErrTooLarge
+	}
+	return best, bestCost, nil
+}
+
+// usable reports whether edge i appears in some cover (adding unusable
+// zero-weight edges would be harmless but pollutes solutions).
+func (inst *coverInstance) usable(i int) bool {
+	for _, covers := range inst.targets {
+		for _, c := range covers {
+			for _, e := range c {
+				if e == i {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pickUnsatisfied returns the index and covers of an unsatisfied target
+// with the fewest covers (first-fail), or -1 if all targets are satisfied.
+func (inst *coverInstance) pickUnsatisfied(chosen *graph.EdgeSet) (int, []cover) {
+	bestIdx, bestLen := -1, math.MaxInt
+	for ti, covers := range inst.targets {
+		satisfied := false
+		for _, c := range covers {
+			if coverSatisfied(c, chosen) {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied && len(covers) < bestLen {
+			bestIdx, bestLen = ti, len(covers)
+		}
+	}
+	if bestIdx < 0 {
+		return -1, nil
+	}
+	return bestIdx, inst.targets[bestIdx]
+}
+
+func coverSatisfied(c cover, chosen *graph.EdgeSet) bool {
+	for _, e := range c {
+		if !chosen.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// greedy fills chosen to feasibility by repeatedly taking the cheapest
+// cover of an unsatisfied target, returning the resulting cost. It mutates
+// chosen into a feasible solution (used as the initial incumbent).
+func (inst *coverInstance) greedy(chosen *graph.EdgeSet) float64 {
+	for {
+		ti, covers := inst.pickUnsatisfied(chosen)
+		if ti < 0 {
+			break
+		}
+		bestInc := math.Inf(1)
+		var bestAdd []int
+		for _, c := range covers {
+			inc := 0.0
+			var add []int
+			for _, e := range c {
+				if !chosen.Has(e) {
+					inc += inst.weights[e]
+					add = append(add, e)
+				}
+			}
+			if inc < bestInc {
+				bestInc, bestAdd = inc, add
+			}
+		}
+		for _, e := range bestAdd {
+			chosen.Add(e)
+		}
+	}
+	return chosenCost(inst.weights, chosen)
+}
+
+func chosenCost(weights []float64, s *graph.EdgeSet) float64 {
+	total := 0.0
+	s.ForEach(func(i int) { total += weights[i] })
+	return total
+}
+
+func defaultInt(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,130 @@
+// Package flow provides the maximum-flow machinery the paper's algorithms
+// rely on: a Dinic max-flow solver and a Dinkelbach-style densest-selection
+// oracle. Kortsarz-Peleg's sequential greedy and the paper's distributed
+// 2-spanner algorithm both compute densest stars "in polynomial time using
+// flow techniques [36]"; this package is that substrate.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+const eps = 1e-9
+
+type dinicEdge struct {
+	to   int
+	cap  float64
+	flow float64
+	rev  int // index of the reverse edge in adj[to]
+}
+
+// Dinic is a maximum-flow solver over a directed network with float64
+// capacities. Construct with NewDinic, add edges, then call MaxFlow.
+type Dinic struct {
+	n     int
+	adj   [][]dinicEdge
+	level []int
+	iter  []int
+}
+
+// NewDinic returns a flow network on n nodes.
+func NewDinic(n int) *Dinic {
+	if n < 0 {
+		panic("flow: negative node count")
+	}
+	return &Dinic{n: n, adj: make([][]dinicEdge, n)}
+}
+
+// AddEdge inserts a directed edge u -> v with the given capacity and
+// returns an opaque handle (unused by callers today, kept for symmetry with
+// standard flow APIs).
+func (d *Dinic) AddEdge(u, v int, capacity float64) {
+	if u < 0 || u >= d.n || v < 0 || v >= d.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range [0,%d)", u, v, d.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic("flow: invalid capacity")
+	}
+	d.adj[u] = append(d.adj[u], dinicEdge{to: v, cap: capacity, rev: len(d.adj[v])})
+	d.adj[v] = append(d.adj[v], dinicEdge{to: u, cap: 0, rev: len(d.adj[u]) - 1})
+}
+
+// MaxFlow computes the maximum s-t flow. It may be called once per network;
+// afterwards MinCutSourceSide reads the final residual graph.
+func (d *Dinic) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	total := 0.0
+	for d.bfs(s, t) {
+		d.iter = make([]int, d.n)
+		for {
+			f := d.dfs(s, t, math.Inf(1))
+			if f <= eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (d *Dinic) bfs(s, t int) bool {
+	d.level = make([]int, d.n)
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int, 0, d.n)
+	d.level[s] = 0
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range d.adj[v] {
+			if e.cap-e.flow > eps && d.level[e.to] < 0 {
+				d.level[e.to] = d.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *Dinic) dfs(v, t int, f float64) float64 {
+	if v == t {
+		return f
+	}
+	for ; d.iter[v] < len(d.adj[v]); d.iter[v]++ {
+		e := &d.adj[v][d.iter[v]]
+		if e.cap-e.flow <= eps || d.level[v]+1 != d.level[e.to] {
+			continue
+		}
+		got := d.dfs(e.to, t, math.Min(f, e.cap-e.flow))
+		if got > eps {
+			e.flow += got
+			d.adj[e.to][e.rev].flow -= got
+			return got
+		}
+	}
+	return 0
+}
+
+// MinCutSourceSide returns, after MaxFlow, the set of nodes reachable from
+// s in the residual graph: the source side of a minimum cut.
+func (d *Dinic) MinCutSourceSide(s int) []bool {
+	side := make([]bool, d.n)
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range d.adj[v] {
+			if e.cap-e.flow > eps && !side[e.to] {
+				side[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return side
+}

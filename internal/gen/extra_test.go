@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometric(t *testing.T) {
+	g := Geometric(80, 0.25, 3)
+	if g.N() != 80 {
+		t.Fatal("wrong vertex count")
+	}
+	if g.M() == 0 {
+		t.Fatal("radius 0.25 on 80 points must produce edges")
+	}
+	// Radius 0 produces no edges; radius sqrt(2) produces a clique.
+	if Geometric(20, 0, 1).M() != 0 {
+		t.Fatal("radius 0 must be edgeless")
+	}
+	if g2 := Geometric(20, 1.5, 1); g2.M() != 190 {
+		t.Fatalf("radius > sqrt(2) must be complete, got %d edges", g2.M())
+	}
+	a, b := Geometric(30, 0.3, 7), Geometric(30, 0.3, 7)
+	if a.M() != b.M() {
+		t.Fatal("not deterministic per seed")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(100, 3, 5)
+	if g.N() != 100 {
+		t.Fatal("wrong vertex count")
+	}
+	// Vertices beyond the m-th attach to exactly m targets; earlier ones
+	// to fewer. Edge count: sum over v of min(v, m).
+	want := 0
+	for v := 1; v < 100; v++ {
+		if v < 3 {
+			want += v
+		} else {
+			want += 3
+		}
+	}
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("preferential attachment graph must be connected")
+	}
+	// Heavy tail: some vertex should have degree well above m.
+	if g.MaxDegree() < 6 {
+		t.Fatalf("max degree %d suspiciously small for BA(100,3)", g.MaxDegree())
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 20 {
+		t.Fatalf("N = %d, want 20", g.N())
+	}
+	// Tree: n-1 edges, connected.
+	if g.M() != g.N()-1 || !g.Connected() {
+		t.Fatal("caterpillar must be a tree")
+	}
+}
+
+func TestLollipopChain(t *testing.T) {
+	g := LollipopChain(3, 5, 4)
+	if !g.Connected() {
+		t.Fatal("lollipop chain disconnected")
+	}
+	// Each clique contributes C(5,2)=10 edges; two bridges of 4 edges.
+	if g.M() != 3*10+2*4 {
+		t.Fatalf("M = %d, want 38", g.M())
+	}
+	mustPanicExtra(t, func() { LollipopChain(0, 5, 1) })
+}
+
+func TestExpectedGeometricDegree(t *testing.T) {
+	if d := ExpectedGeometricDegree(100, 0.1); d < 3 || d > 3.2 {
+		t.Fatalf("expected degree = %f, want ~3.14", d)
+	}
+}
+
+// Property: preferential attachment graphs are always simple and
+// connected.
+func TestPreferentialAttachmentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int((seed%40+40)%40)
+		g := PreferentialAttachment(n, 2, seed)
+		return g.Connected() && g.M() <= 2*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanicExtra(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

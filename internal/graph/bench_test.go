@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(2000, 0.005, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkDistWithin(b *testing.B) {
+	g := benchGraph(500, 0.05, 2)
+	h := Full(g.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.DistWithin(i%g.N(), (i*7)%g.N(), h, 4)
+	}
+}
+
+func BenchmarkEdgeSetOps(b *testing.B) {
+	a := Full(100000)
+	c := NewEdgeSet(100000)
+	for i := 0; i < 100000; i += 3 {
+		c.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := a.Clone()
+		x.SubtractWith(c)
+		x.UnionWith(c)
+	}
+}

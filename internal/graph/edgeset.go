@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// EdgeSet is a bitset over edge indices of a fixed universe size. It is the
+// representation used for spanners, covers, and other edge subsets. The zero
+// value is unusable; construct with NewEdgeSet.
+type EdgeSet struct {
+	words []uint64
+	m     int // universe size
+	count int
+}
+
+// NewEdgeSet returns an empty edge set over a universe of m edges.
+func NewEdgeSet(m int) *EdgeSet {
+	if m < 0 {
+		panic("graph: negative edge universe")
+	}
+	return &EdgeSet{words: make([]uint64, (m+63)/64), m: m}
+}
+
+// Universe returns the universe size the set was created with.
+func (s *EdgeSet) Universe() int { return s.m }
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return s.count }
+
+// Has reports whether edge i is in the set.
+func (s *EdgeSet) Has(i int) bool {
+	if i < 0 || i >= s.m {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts edge i. It reports whether the set changed.
+func (s *EdgeSet) Add(i int) bool {
+	s.check(i)
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	s.count++
+	return true
+}
+
+// Remove deletes edge i. It reports whether the set changed.
+func (s *EdgeSet) Remove(i int) bool {
+	s.check(i)
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	s.count--
+	return true
+}
+
+// Clone returns a deep copy of the set.
+func (s *EdgeSet) Clone() *EdgeSet {
+	c := &EdgeSet{words: make([]uint64, len(s.words)), m: s.m, count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds every edge of other to s. The universes must match.
+func (s *EdgeSet) UnionWith(other *EdgeSet) {
+	if other.m != s.m {
+		panic(fmt.Sprintf("graph: edge-set universe mismatch %d != %d", s.m, other.m))
+	}
+	count := 0
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+		count += bits.OnesCount64(s.words[i])
+	}
+	s.count = count
+}
+
+// IntersectWith removes from s every edge not in other.
+func (s *EdgeSet) IntersectWith(other *EdgeSet) {
+	if other.m != s.m {
+		panic(fmt.Sprintf("graph: edge-set universe mismatch %d != %d", s.m, other.m))
+	}
+	count := 0
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+		count += bits.OnesCount64(s.words[i])
+	}
+	s.count = count
+}
+
+// SubtractWith removes from s every edge in other.
+func (s *EdgeSet) SubtractWith(other *EdgeSet) {
+	if other.m != s.m {
+		panic(fmt.Sprintf("graph: edge-set universe mismatch %d != %d", s.m, other.m))
+	}
+	count := 0
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+		count += bits.OnesCount64(s.words[i])
+	}
+	s.count = count
+}
+
+// Equal reports whether s and other contain the same edges.
+func (s *EdgeSet) Equal(other *EdgeSet) bool {
+	if other.m != s.m || other.count != s.count {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every edge in the set in increasing index order.
+func (s *EdgeSet) ForEach(fn func(i int)) {
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w<<6 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// Slice returns the edges in the set as a sorted slice of indices.
+func (s *EdgeSet) Slice() []int {
+	out := make([]int, 0, s.count)
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Full returns a set containing every edge of the universe m.
+func Full(m int) *EdgeSet {
+	s := NewEdgeSet(m)
+	for i := 0; i < m; i++ {
+		s.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+	s.count = m
+	return s
+}
+
+func (s *EdgeSet) check(i int) {
+	if i < 0 || i >= s.m {
+		panic(fmt.Sprintf("graph: edge index %d out of universe [0,%d)", i, s.m))
+	}
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet(130) // spans three words
+	if s.Len() != 0 || s.Universe() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) reported no change", i)
+		}
+		if s.Add(i) {
+			t.Fatalf("second Add(%d) reported change", i)
+		}
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len() = %d, want 6", s.Len())
+	}
+	if !s.Remove(64) || s.Remove(64) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Has(64) {
+		t.Fatal("Has(64) after Remove")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len() = %d after remove, want 5", s.Len())
+	}
+	if s.Has(-1) || s.Has(130) {
+		t.Fatal("Has out of universe must be false")
+	}
+	mustPanic(t, "add out of range", func() { s.Add(130) })
+}
+
+func TestEdgeSetForEachOrder(t *testing.T) {
+	s := NewEdgeSet(200)
+	want := []int{3, 17, 64, 65, 190}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgeSetSetOps(t *testing.T) {
+	a := NewEdgeSet(100)
+	b := NewEdgeSet(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	u := a.Clone()
+	u.UnionWith(b)
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	diff := a.Clone()
+	diff.SubtractWith(b)
+
+	for i := 0; i < 100; i++ {
+		even, third := i%2 == 0, i%3 == 0
+		if u.Has(i) != (even || third) {
+			t.Fatalf("union wrong at %d", i)
+		}
+		if inter.Has(i) != (even && third) {
+			t.Fatalf("intersection wrong at %d", i)
+		}
+		if diff.Has(i) != (even && !third) {
+			t.Fatalf("difference wrong at %d", i)
+		}
+	}
+	// Counts must be maintained by the bulk operations.
+	if u.Len() != 67 || inter.Len() != 17 || diff.Len() != 33 {
+		t.Fatalf("set op counts = %d/%d/%d, want 67/17/33", u.Len(), inter.Len(), diff.Len())
+	}
+	mustPanic(t, "universe mismatch", func() { a.UnionWith(NewEdgeSet(50)) })
+}
+
+func TestFull(t *testing.T) {
+	s := Full(70)
+	if s.Len() != 70 {
+		t.Fatalf("Full(70).Len() = %d", s.Len())
+	}
+	for i := 0; i < 70; i++ {
+		if !s.Has(i) {
+			t.Fatalf("Full set missing %d", i)
+		}
+	}
+	if s.Has(70) {
+		t.Fatal("Full set contains out-of-universe element")
+	}
+	if Full(0).Len() != 0 {
+		t.Fatal("Full(0) not empty")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewEdgeSet(64)
+	b := NewEdgeSet(64)
+	if !a.Equal(b) {
+		t.Fatal("two empty sets unequal")
+	}
+	a.Add(5)
+	if a.Equal(b) {
+		t.Fatal("different sets equal")
+	}
+	b.Add(5)
+	if !a.Equal(b) {
+		t.Fatal("same sets unequal")
+	}
+	if a.Equal(NewEdgeSet(65)) {
+		t.Fatal("sets with different universes equal")
+	}
+}
+
+// Property: Len always equals the number of elements visited by ForEach,
+// under a random sequence of adds and removes.
+func TestEdgeSetCountInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(300)
+		s := NewEdgeSet(m)
+		ref := make(map[int]bool)
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(m)
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				ref[i] = true
+			} else {
+				s.Remove(i)
+				delete(ref, i)
+			}
+		}
+		visited := 0
+		ok := true
+		s.ForEach(func(i int) {
+			visited++
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok && visited == len(ref) && s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UnionWith/SubtractWith/IntersectWith agree with a reference
+// map implementation.
+func TestEdgeSetAlgebraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(200)
+		a, b := NewEdgeSet(m), NewEdgeSet(m)
+		ra, rb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < m; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+				ra[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+				rb[i] = true
+			}
+		}
+		union := a.Clone()
+		union.UnionWith(b)
+		for i := 0; i < m; i++ {
+			if union.Has(i) != (ra[i] || rb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

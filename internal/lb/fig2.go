@@ -1,0 +1,209 @@
+package lb
+
+import (
+	"fmt"
+
+	"distspanner/internal/graph"
+)
+
+// Fig2 is the weighted directed graph G_w(ℓ) of Figure 2 (Theorem 2.9):
+// the β = 1 specialization of G(ℓ,β) without Y3, where every edge outside
+// D has weight 0 and every D-edge has weight 1. There is a 0-cost
+// k-spanner (k >= 4) iff the inputs are disjoint, which is what makes even
+// huge approximation ratios hard: an α-approximation must return cost 0
+// whenever OPT is 0.
+type Fig2 struct {
+	L    int
+	A, B []bool
+	G    *graph.Digraph
+	D    *graph.EdgeSet
+}
+
+// Vertex ids: x¹_i, x²_i, y¹_i, y²_i, x_i, y_i.
+
+// X1a returns the id of x¹_i.
+func (f *Fig2) X1a(i int) int { return i }
+
+// X1b returns the id of x²_i.
+func (f *Fig2) X1b(i int) int { return f.L + i }
+
+// Y1a returns the id of y¹_i.
+func (f *Fig2) Y1a(i int) int { return 2*f.L + i }
+
+// Y1b returns the id of y²_i.
+func (f *Fig2) Y1b(i int) int { return 3*f.L + i }
+
+// X2 returns the id of x_i.
+func (f *Fig2) X2(i int) int { return 4*f.L + i }
+
+// Y2 returns the id of y_i.
+func (f *Fig2) Y2(i int) int { return 5*f.L + i }
+
+// N returns the number of vertices, exactly 6ℓ.
+func (f *Fig2) N() int { return 6 * f.L }
+
+// NewFig2 builds G_w(ℓ) for inputs a, b of length ℓ².
+func NewFig2(l int, a, b []bool) (*Fig2, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("lb: need ℓ >= 1, got %d", l)
+	}
+	if len(a) != l*l || len(b) != l*l {
+		return nil, fmt.Errorf("lb: input strings must have length ℓ² = %d", l*l)
+	}
+	f := &Fig2{L: l, A: append([]bool(nil), a...), B: append([]bool(nil), b...)}
+	g := graph.NewDigraph(f.N())
+	var dIdx []int
+	for i := 0; i < l; i++ {
+		g.AddEdge(f.X1a(i), f.Y1a(i))
+		g.AddEdge(f.X1b(i), f.Y1b(i))
+		g.AddEdge(f.X2(i), f.X1a(i))
+		g.AddEdge(f.Y1b(i), f.Y2(i)) // replaces the two Y3 hops of Fig1
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			dIdx = append(dIdx, g.AddEdge(f.X2(i), f.Y2(j)))
+		}
+	}
+	for i := 0; i < l; i++ {
+		for r := 0; r < l; r++ {
+			if !a[i*l+r] {
+				g.AddEdge(f.X1a(i), f.X1b(r))
+			}
+			if !b[i*l+r] {
+				g.AddEdge(f.Y1a(i), f.Y1b(r))
+			}
+		}
+	}
+	// Weights: 1 on D, 0 elsewhere.
+	for i := 0; i < g.M(); i++ {
+		g.SetWeight(i, 0)
+	}
+	f.D = graph.NewEdgeSet(g.M())
+	for _, idx := range dIdx {
+		f.D.Add(idx)
+		g.SetWeight(idx, 1)
+	}
+	f.G = g
+	return f, nil
+}
+
+// ZeroCostSpanner returns the all-zero-weight edge set (everything outside
+// D): a 4-spanner of cost 0 iff the inputs are disjoint.
+func (f *Fig2) ZeroCostSpanner() *graph.EdgeSet {
+	h := graph.Full(f.G.M())
+	h.SubtractWith(f.D)
+	return h
+}
+
+// Disjoint reports whether the inputs are disjoint.
+func (f *Fig2) Disjoint() bool {
+	for i := range f.A {
+		if f.A[i] && f.B[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CutSide returns the Alice/Bob partition: Bob simulates Y1.
+func (f *Fig2) CutSide() []bool {
+	side := make([]bool, f.N())
+	for i := 0; i < f.L; i++ {
+		side[f.Y1a(i)] = true
+		side[f.Y1b(i)] = true
+	}
+	return side
+}
+
+// Fig2Undirected is the undirected variant (Theorem 2.10): G_w with
+// undirected edges and, to kill long zero-weight detours, each (y²_i, y_i)
+// edge replaced by a path of k-3 zero-weight edges. A 0-cost k-spanner
+// exists iff the inputs are disjoint.
+type Fig2Undirected struct {
+	L, K int
+	A, B []bool
+	G    *graph.Graph
+	D    *graph.EdgeSet
+}
+
+// NewFig2Undirected builds the undirected weighted construction for
+// stretch k >= 4.
+func NewFig2Undirected(l, k int, a, b []bool) (*Fig2Undirected, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("lb: need ℓ >= 1, got %d", l)
+	}
+	if k < 4 {
+		return nil, fmt.Errorf("lb: undirected weighted construction needs k >= 4, got %d", k)
+	}
+	if len(a) != l*l || len(b) != l*l {
+		return nil, fmt.Errorf("lb: input strings must have length ℓ² = %d", l*l)
+	}
+	f := &Fig2Undirected{L: l, K: k, A: append([]bool(nil), a...), B: append([]bool(nil), b...)}
+	// Base ids mirror Fig2; tail vertices y³_i..y^{k-2}_i are appended.
+	tailLen := k - 4 // internal vertices on the (y²_i, y_i) path
+	n := 6*l + tailLen*l
+	g := graph.New(n)
+	x1a := func(i int) int { return i }
+	x1b := func(i int) int { return l + i }
+	y1a := func(i int) int { return 2*l + i }
+	y1b := func(i int) int { return 3*l + i }
+	x2 := func(i int) int { return 4*l + i }
+	y2 := func(i int) int { return 5*l + i }
+	tail := func(i, t int) int { return 6*l + i*tailLen + t }
+
+	var dIdx []int
+	for i := 0; i < l; i++ {
+		g.AddEdge(x1a(i), y1a(i))
+		g.AddEdge(x1b(i), y1b(i))
+		g.AddEdge(x2(i), x1a(i))
+		// Path of length k-3 from y²_i to y_i.
+		prev := y1b(i)
+		for t := 0; t < tailLen; t++ {
+			g.AddEdge(prev, tail(i, t))
+			prev = tail(i, t)
+		}
+		g.AddEdge(prev, y2(i))
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			dIdx = append(dIdx, g.AddEdge(x2(i), y2(j)))
+		}
+	}
+	for i := 0; i < l; i++ {
+		for r := 0; r < l; r++ {
+			if !a[i*l+r] {
+				g.AddEdge(x1a(i), x1b(r))
+			}
+			if !b[i*l+r] {
+				g.AddEdge(y1a(i), y1b(r))
+			}
+		}
+	}
+	for i := 0; i < g.M(); i++ {
+		g.SetWeight(i, 0)
+	}
+	f.D = graph.NewEdgeSet(g.M())
+	for _, idx := range dIdx {
+		f.D.Add(idx)
+		g.SetWeight(idx, 1)
+	}
+	f.G = g
+	return f, nil
+}
+
+// ZeroCostSpanner returns all edges outside D.
+func (f *Fig2Undirected) ZeroCostSpanner() *graph.EdgeSet {
+	h := graph.Full(f.G.M())
+	h.SubtractWith(f.D)
+	return h
+}
+
+// Disjoint reports whether the inputs are disjoint.
+func (f *Fig2Undirected) Disjoint() bool {
+	for i := range f.A {
+		if f.A[i] && f.B[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package lb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DisjointInputs returns random input strings a, b of length n with
+// a_i ∧ b_i = 0 everywhere (set-disjointness YES instances). Density is
+// the marginal probability of a 1 in either string.
+func DisjointInputs(n int, density float64, seed int64) (a, b []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]bool, n)
+	b = make([]bool, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Float64() < density:
+			a[i] = true
+		case rng.Float64() < density:
+			b[i] = true
+		}
+	}
+	return a, b
+}
+
+// IntersectingInputs returns random inputs with exactly `conflicts`
+// positions where a_i = b_i = 1 (set-disjointness NO instances).
+func IntersectingInputs(n, conflicts int, density float64, seed int64) (a, b []bool) {
+	if conflicts < 1 || conflicts > n {
+		panic("lb: conflicts out of range")
+	}
+	a, b = DisjointInputs(n, density, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for _, i := range rng.Perm(n)[:conflicts] {
+		a[i] = true
+		b[i] = true
+	}
+	return a, b
+}
+
+// FarFromDisjointInputs returns inputs with at least n/12 conflict
+// positions: the gap-disjointness NO instances of Lemma 2.5/2.6.
+func FarFromDisjointInputs(n int, seed int64) (a, b []bool) {
+	conflicts := n / 12
+	if conflicts < 1 {
+		conflicts = 1
+	}
+	return IntersectingInputs(n, conflicts, 0.3, seed)
+}
+
+// Predicted lower-bound curves. Each returns the Ω(·) expression's value
+// (constant factor 1) so experiments can chart the shapes of the theorems.
+
+// RandomizedDirectedRounds is Theorem 1.1: any randomized α-approximation
+// for directed k-spanner (k >= 5) in CONGEST needs Ω(√n / (√α · log n))
+// rounds, for 1 <= α <= n/100.
+func RandomizedDirectedRounds(n int, alpha float64) float64 {
+	if n < 2 || alpha < 1 {
+		return 0
+	}
+	return math.Sqrt(float64(n)) / (math.Sqrt(alpha) * math.Log2(float64(n)))
+}
+
+// DeterministicDirectedRounds is Theorem 2.8: deterministic algorithms need
+// Ω(n / (√α · log n)) rounds.
+func DeterministicDirectedRounds(n int, alpha float64) float64 {
+	if n < 2 || alpha < 1 {
+		return 0
+	}
+	return float64(n) / (math.Sqrt(alpha) * math.Log2(float64(n)))
+}
+
+// WeightedDirectedRounds is Theorem 2.9: Ω(n / log n) for weighted directed
+// k-spanner, k >= 4, any approximation ratio.
+func WeightedDirectedRounds(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) / math.Log2(float64(n))
+}
+
+// WeightedUndirectedRounds is Theorem 2.10: Ω(n / (k·log n)) for the
+// undirected weighted case.
+func WeightedUndirectedRounds(n, k int) float64 {
+	if n < 2 || k < 1 {
+		return 0
+	}
+	return float64(n) / (float64(k) * math.Log2(float64(n)))
+}
+
+// Weighted2SpannerLocalRoundsDelta is Theorem 3.3's first bound: any
+// constant/polylog approximation of weighted 2-spanner needs
+// Ω(log Δ / log log Δ) rounds even in LOCAL.
+func Weighted2SpannerLocalRoundsDelta(delta int) float64 {
+	if delta < 4 {
+		return 0
+	}
+	l := math.Log2(float64(delta))
+	return l / math.Log2(l)
+}
+
+// Weighted2SpannerLocalRoundsN is Theorem 3.3's second bound:
+// Ω(√(log n / log log n)) rounds.
+func Weighted2SpannerLocalRoundsN(n int) float64 {
+	if n < 4 {
+		return 0
+	}
+	l := math.Log2(float64(n))
+	return math.Sqrt(l / math.Log2(l))
+}
+
+// ExactWeighted2SpannerRounds is Theorem 3.5: solving weighted 2-spanner
+// optimally in CONGEST needs Ω(n² / log² n) rounds.
+func ExactWeighted2SpannerRounds(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(float64(n))
+	return float64(n) * float64(n) / (l * l)
+}
+
+// TradeoffRatioN is Theorem 3.4's first trade-off: in k rounds, every
+// distributed weighted-2-spanner algorithm has approximation ratio at
+// least Ω(n^{(1-o(1))/(4k²)} / k); this returns n^{1/(4k²)}/k, the
+// leading shape with the o(1) dropped.
+func TradeoffRatioN(n, k int) float64 {
+	if n < 2 || k < 1 {
+		return 0
+	}
+	return math.Pow(float64(n), 1/float64(4*k*k)) / float64(k)
+}
+
+// TradeoffRatioDelta is Theorem 3.4's second trade-off: ratio at least
+// Ω(Δ^{1/(k+1)} / k) in k rounds.
+func TradeoffRatioDelta(delta, k int) float64 {
+	if delta < 2 || k < 1 {
+		return 0
+	}
+	return math.Pow(float64(delta), 1/float64(k+1)) / float64(k)
+}
+
+// Fig1Params chooses (ℓ, β) per Theorem 1.1's proof for a target vertex
+// count and approximation ratio: q = ⌈αc⌉ + 1 with c = 7, ℓ = ⌊√(n'/cq)⌋,
+// β = qℓ. Returns an error-free best effort with ℓ >= 1.
+func Fig1Params(nTarget int, alpha float64) (l, beta int) {
+	const c = 7
+	q := int(math.Ceil(alpha*c)) + 1
+	l = int(math.Floor(math.Sqrt(float64(nTarget) / float64(c*q))))
+	if l < 1 {
+		l = 1
+	}
+	beta = q * l
+	return l, beta
+}
+
+// GapParams chooses (ℓ, β) per Theorem 2.8's proof: β = ⌈√(12αc)⌉ + 1,
+// ℓ = ⌊n'/(cβ)⌋.
+func GapParams(nTarget int, alpha float64) (l, beta int) {
+	const c = 7
+	beta = int(math.Ceil(math.Sqrt(12*alpha*float64(c)))) + 1
+	l = nTarget / (c * beta)
+	if l < 1 {
+		l = 1
+	}
+	return l, beta
+}
+
+// ImpliedRoundLB converts a communication-complexity requirement into a
+// round lower bound for a given cut: an algorithm exchanging at most
+// bandwidth bits per cut edge per round needs at least
+// bitsNeeded / (cutEdges · bandwidth) rounds (Lemma 2.4's accounting).
+func ImpliedRoundLB(bitsNeeded, cutEdges, bandwidth int) float64 {
+	if cutEdges <= 0 || bandwidth <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bitsNeeded) / float64(cutEdges*bandwidth)
+}

@@ -1,0 +1,446 @@
+package lb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distspanner/internal/exact"
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+	"distspanner/internal/span"
+)
+
+func TestFig1Shape(t *testing.T) {
+	l, beta := 3, 4
+	a := make([]bool, l*l)
+	b := make([]bool, l*l)
+	f, err := NewFig1(l, beta, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.N() != 2*l*beta+5*l {
+		t.Fatalf("n = %d, want 2ℓβ+5ℓ = %d", f.G.N(), 2*l*beta+5*l)
+	}
+	if f.D.Len() != (l*beta)*(l*beta) {
+		t.Fatalf("|D| = %d, want (ℓβ)² = %d", f.D.Len(), l*beta*l*beta)
+	}
+	if got := f.CutEdges(); got != 3*l {
+		t.Fatalf("cut edges = %d, want 3ℓ = %d", got, 3*l)
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	if _, err := NewFig1(0, 1, nil, nil); err == nil {
+		t.Fatal("ℓ=0 must error")
+	}
+	if _, err := NewFig1(2, 2, make([]bool, 3), make([]bool, 4)); err == nil {
+		t.Fatal("wrong input length must error")
+	}
+}
+
+func TestFig1Claim22Property(t *testing.T) {
+	// Claim 2.2 must hold for random inputs, disjoint or not.
+	f := func(seed int64) bool {
+		l := 2 + int(seed%3+3)%3 // 2..4
+		beta := l + 1
+		var a, b []bool
+		if seed%2 == 0 {
+			a, b = DisjointInputs(l*l, 0.4, seed)
+		} else {
+			conflicts := 1 + int((seed%int64(l)+int64(l))%int64(l))
+			a, b = IntersectingInputs(l*l, conflicts, 0.3, seed)
+		}
+		fig, err := NewFig1(l, beta, a, b)
+		if err != nil {
+			return false
+		}
+		return fig.VerifyClaim22() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1Lemma23Dichotomy(t *testing.T) {
+	l, beta := 3, 4 // β >= ℓ as Lemma 2.3 requires
+	// Disjoint side: the non-D edges are a 5-spanner of size <= 7ℓβ.
+	a, b := DisjointInputs(l*l, 0.4, 1)
+	f, err := NewFig1(l, beta, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.NonDSpanner()
+	if !span.IsDirectedKSpanner(f.G, h, 5) {
+		t.Fatal("disjoint inputs: non-D edges must form a 5-spanner")
+	}
+	if h.Len() > 7*l*beta {
+		t.Fatalf("non-D spanner has %d edges, Lemma 2.3 promises <= 7ℓβ = %d", h.Len(), 7*l*beta)
+	}
+	// And it is a k-spanner for all k >= 5.
+	if !span.IsDirectedKSpanner(f.G, h, 6) {
+		t.Fatal("5-spanner must also be a 6-spanner")
+	}
+
+	// Intersecting side: every spanner needs >= β² D-edges per conflict.
+	a2, b2 := IntersectingInputs(l*l, 2, 0.3, 3)
+	f2, err := NewFig1(l, beta, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := f2.ForcedDEdges()
+	if forced.Len() != 2*beta*beta {
+		t.Fatalf("forced D-edges = %d, want 2β² = %d", forced.Len(), 2*beta*beta)
+	}
+	// The non-D spanner alone must fail.
+	if span.IsDirectedKSpanner(f2.G, f2.NonDSpanner(), 5) {
+		t.Fatal("intersecting inputs: non-D edges cannot form a 5-spanner")
+	}
+	// Adding the forced edges must fix it (the structurally minimal
+	// spanner).
+	min := f2.MinimalSpanner()
+	if !span.IsDirectedKSpanner(f2.G, min, 5) {
+		t.Fatal("minimal spanner invalid")
+	}
+	// Forced means forced: dropping any forced edge breaks the spanner.
+	some := forced.Slice()[0]
+	broken := min.Clone()
+	broken.Remove(some)
+	if span.IsDirectedKSpanner(f2.G, broken, 5) {
+		t.Fatal("a forced D-edge was droppable")
+	}
+}
+
+func TestFig1GapDichotomyLemma26(t *testing.T) {
+	// Lemma 2.6 regime: β <= ℓ, gap instances.
+	l, beta := 6, 2
+	a, b := DisjointInputs(l*l, 0.3, 5)
+	f, err := NewFig1(l, beta, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.NonDSpanner()
+	if !span.IsDirectedKSpanner(f.G, h, 5) {
+		t.Fatal("disjoint: non-D spanner invalid")
+	}
+	if h.Len() > 7*l*l {
+		t.Fatalf("non-D spanner %d > 7ℓ² = %d", h.Len(), 7*l*l)
+	}
+	af, bf := FarFromDisjointInputs(l*l, 7)
+	f2, err := NewFig1(l, beta, af, bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(beta*beta) * float64(l*l) / 12
+	if got := float64(f2.ForcedDEdges().Len()); got < want {
+		t.Fatalf("far inputs force %f D-edges, Lemma 2.6 needs >= β²ℓ²/12 = %f", got, want)
+	}
+}
+
+func TestFig2ZeroCostIffDisjoint(t *testing.T) {
+	l := 4
+	a, b := DisjointInputs(l*l, 0.4, 2)
+	f, err := NewFig2(l, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.N() != 6*l {
+		t.Fatalf("n = %d, want 6ℓ", f.G.N())
+	}
+	if !f.Disjoint() {
+		t.Fatal("generator must produce disjoint inputs")
+	}
+	h := f.ZeroCostSpanner()
+	if !span.IsDirectedKSpanner(f.G, h, 4) {
+		t.Fatal("disjoint: zero-weight edges must form a 4-spanner")
+	}
+	if f.G.TotalWeight(h) != 0 {
+		t.Fatal("zero-cost spanner has positive cost")
+	}
+
+	a2, b2 := IntersectingInputs(l*l, 1, 0.3, 4)
+	f2, err := NewFig2(l, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.IsDirectedKSpanner(f2.G, f2.ZeroCostSpanner(), 4) {
+		t.Fatal("intersecting: zero-weight edges cannot 4-span")
+	}
+	// The conflicting D-edge is forced at any stretch: removal leaves the
+	// pair unreachable.
+	var conflict [2]int
+	found := false
+	for i := 0; i < l*l && !found; i++ {
+		if a2[i] && b2[i] {
+			conflict = [2]int{i / l, i % l}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no conflict in intersecting inputs")
+	}
+	idx, _ := f2.G.EdgeIndex(f2.X2(conflict[0]), f2.Y2(conflict[1]))
+	all := graph.Full(f2.G.M())
+	all.Remove(idx)
+	if d := f2.G.DistWithin(f2.X2(conflict[0]), f2.Y2(conflict[1]), all, -1); d != -1 {
+		t.Fatalf("conflict D-edge not forced: alternative path of length %d", d)
+	}
+}
+
+func TestFig2UndirectedZeroCostIffDisjoint(t *testing.T) {
+	l := 3
+	for _, k := range []int{4, 5, 7} {
+		a, b := DisjointInputs(l*l, 0.4, int64(k))
+		f, err := NewFig2Undirected(l, k, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := f.ZeroCostSpanner()
+		if !span.IsKSpanner(f.G, h, k) {
+			t.Fatalf("k=%d disjoint: zero-weight subgraph must k-span", k)
+		}
+		a2, b2 := IntersectingInputs(l*l, 1, 0.3, int64(k)*7)
+		f2, err := NewFig2Undirected(l, k, a2, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span.IsKSpanner(f2.G, f2.ZeroCostSpanner(), k) {
+			t.Fatalf("k=%d intersecting: zero-weight subgraph must fail", k)
+		}
+	}
+	if _, err := NewFig2Undirected(3, 3, make([]bool, 9), make([]bool, 9)); err == nil {
+		t.Fatal("k < 4 must error")
+	}
+}
+
+func TestMVCGadgetClaim31Equality(t *testing.T) {
+	// The heart of Section 3: min-cost 2-spanner of G_S == MVC of G.
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.GNP(5, 0.5, seed)
+		m := NewMVCGadget(g, false)
+		mvc := exact.MinVertexCover(g)
+		_, cost, err := exact.MinSpanner(m.GS, exact.SpannerOptions{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != float64(len(mvc)) {
+			t.Fatalf("seed %d: spanner cost %f != MVC size %d", seed, cost, len(mvc))
+		}
+	}
+}
+
+func TestMVCGadgetCoverToSpanner(t *testing.T) {
+	g := gen.Cycle(5)
+	m := NewMVCGadget(g, false)
+	cover := exact.MinVertexCover(g)
+	h := m.CoverToSpanner(cover)
+	if !span.IsKSpanner(m.GS, h, 2) {
+		t.Fatal("cover-induced spanner invalid")
+	}
+	if got := span.Cost(m.GS, h); got != float64(len(cover)) {
+		t.Fatalf("cover-induced spanner costs %f, want |C| = %d", got, len(cover))
+	}
+}
+
+func TestMVCGadgetSpannerToCover(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.GNP(6, 0.4, seed)
+		m := NewMVCGadget(g, false)
+		h, cost, err := exact.MinSpanner(m.GS, exact.SpannerOptions{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover := m.SpannerToCover(h)
+		if !m.IsVertexCover(cover) {
+			t.Fatalf("seed %d: converted set is not a vertex cover", seed)
+		}
+		if float64(len(cover)) > cost+1e-9 {
+			t.Fatalf("seed %d: cover size %d exceeds spanner cost %f", seed, len(cover), cost)
+		}
+	}
+}
+
+func TestMVCGadgetCappedWeights(t *testing.T) {
+	// 0/1-weight variant: min 2-spanner cost is between MVC/2 and MVC.
+	g := gen.Clique(4)
+	m := NewMVCGadget(g, true)
+	mvc := len(exact.MinVertexCover(g))
+	_, cost, err := exact.MinSpanner(m.GS, exact.SpannerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > float64(mvc)+1e-9 || cost < float64(mvc)/2-1e-9 {
+		t.Fatalf("capped gadget cost %f outside [MVC/2, MVC] = [%f, %d]", cost, float64(mvc)/2, mvc)
+	}
+}
+
+func TestDirectedMVCGadget(t *testing.T) {
+	g := gen.Path(4)
+	gs, m := DirectedMVCGadget(g, false)
+	mvc := exact.MinVertexCover(g)
+	_, cost, err := exact.MinDirectedSpanner(gs, exact.SpannerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != float64(len(mvc)) {
+		t.Fatalf("directed gadget cost %f != MVC %d", cost, len(mvc))
+	}
+	_ = m
+}
+
+func TestInputGenerators(t *testing.T) {
+	a, b := DisjointInputs(100, 0.4, 1)
+	for i := range a {
+		if a[i] && b[i] {
+			t.Fatal("disjoint generator produced a conflict")
+		}
+	}
+	a2, b2 := IntersectingInputs(100, 7, 0.3, 2)
+	conflicts := 0
+	for i := range a2 {
+		if a2[i] && b2[i] {
+			conflicts++
+		}
+	}
+	if conflicts != 7 {
+		t.Fatalf("conflicts = %d, want 7", conflicts)
+	}
+	a3, b3 := FarFromDisjointInputs(120, 3)
+	conflicts = 0
+	for i := range a3 {
+		if a3[i] && b3[i] {
+			conflicts++
+		}
+	}
+	if conflicts < 10 {
+		t.Fatalf("far inputs have %d conflicts, want >= n/12 = 10", conflicts)
+	}
+}
+
+func TestCurves(t *testing.T) {
+	// Monotonicity and sanity of the theorem curves.
+	if RandomizedDirectedRounds(10000, 1) <= RandomizedDirectedRounds(100, 1) {
+		t.Fatal("randomized curve must grow with n")
+	}
+	if RandomizedDirectedRounds(10000, 100) >= RandomizedDirectedRounds(10000, 1) {
+		t.Fatal("randomized curve must shrink with α")
+	}
+	if DeterministicDirectedRounds(10000, 4) <= RandomizedDirectedRounds(10000, 4) {
+		t.Fatal("deterministic bound must dominate the randomized one")
+	}
+	if WeightedDirectedRounds(4096) != 4096.0/12 {
+		t.Fatalf("weighted curve = %f", WeightedDirectedRounds(4096))
+	}
+	if WeightedUndirectedRounds(4096, 4) != 4096.0/48 {
+		t.Fatal("undirected weighted curve wrong")
+	}
+	if Weighted2SpannerLocalRoundsDelta(2) != 0 || Weighted2SpannerLocalRoundsN(2) != 0 {
+		t.Fatal("degenerate curves must be 0")
+	}
+	if ExactWeighted2SpannerRounds(1024) != 1024*1024/100.0 {
+		t.Fatalf("exact curve = %f", ExactWeighted2SpannerRounds(1024))
+	}
+	if !math.IsInf(ImpliedRoundLB(100, 0, 8), 1) {
+		t.Fatal("zero cut edges must imply infinite rounds")
+	}
+	if got := ImpliedRoundLB(900, 3, 10); got != 30 {
+		t.Fatalf("ImpliedRoundLB = %f, want 30", got)
+	}
+}
+
+func TestFig1ParamsShape(t *testing.T) {
+	l, beta := Fig1Params(10000, 4)
+	if l < 1 || beta < l {
+		t.Fatalf("Fig1Params gave ℓ=%d β=%d; need β >= ℓ >= 1", l, beta)
+	}
+	// Resulting graph size should be near the target.
+	n := 2*l*beta + 5*l
+	if n > 2*10000 {
+		t.Fatalf("construction size %d far exceeds target", n)
+	}
+	gl, gb := GapParams(10000, 4)
+	if gl < gb {
+		t.Fatalf("GapParams gave ℓ=%d < β=%d; Lemma 2.6 needs β <= ℓ", gl, gb)
+	}
+}
+
+func TestFig2ExactOptimumIsZeroIffDisjoint(t *testing.T) {
+	// Proof-by-solver on a small instance: the exact minimum-cost directed
+	// 4-spanner of G_w has cost 0 exactly when the inputs are disjoint.
+	l := 2
+	a, b := DisjointInputs(l*l, 0.5, 3)
+	f, err := NewFig2(l, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cost, err := exact.MinDirectedSpanner(f.G, exact.SpannerOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("disjoint instance has exact OPT %f, want 0", cost)
+	}
+	a2, b2 := IntersectingInputs(l*l, 1, 0.4, 5)
+	f2, err := NewFig2(l, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cost2, err := exact.MinDirectedSpanner(f2.G, exact.SpannerOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 < 1 {
+		t.Fatalf("intersecting instance has exact OPT %f, want >= 1", cost2)
+	}
+}
+
+func TestFig1MinimalSpannerIsOptimalSmall(t *testing.T) {
+	// Proof-by-solver: on a tiny G(ℓ,β) the structurally minimal spanner
+	// matches the exact optimum size.
+	l, beta := 2, 2
+	a, b := IntersectingInputs(l*l, 1, 0.4, 7)
+	f, err := NewFig1(l, beta, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	structural := f.MinimalSpanner()
+	_, cost, err := exact.MinDirectedSpanner(f.G, exact.SpannerOptions{K: 5, MaxCovers: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(structural.Len()) < cost {
+		t.Fatalf("structural spanner (%d) beat the exact optimum (%f)?", structural.Len(), cost)
+	}
+	// The exact optimum must include all forced D-edges.
+	if cost < float64(f.ForcedDEdges().Len()) {
+		t.Fatalf("exact optimum %f below the forced D-edge count %d", cost, f.ForcedDEdges().Len())
+	}
+}
+
+func TestDisjointnessFoolingSetCertified(t *testing.T) {
+	// Certify D(DISJ_N) >= N for every checkable N: the fact the
+	// reductions of Section 2 consume.
+	for n := 1; n <= 10; n++ {
+		if err := VerifyDisjointnessFoolingSet(n); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if DisjFoolingBoundBits(n) != n {
+			t.Fatal("certified bound must be N bits")
+		}
+	}
+	if err := VerifyDisjointnessFoolingSet(0); err == nil {
+		t.Fatal("N=0 must be rejected")
+	}
+	if err := VerifyDisjointnessFoolingSet(13); err == nil {
+		t.Fatal("N>12 must be rejected")
+	}
+}
+
+func TestDisjBasics(t *testing.T) {
+	if !Disj(0b0101, 0b1010) {
+		t.Fatal("disjoint masks misclassified")
+	}
+	if Disj(0b0110, 0b0010) {
+		t.Fatal("intersecting masks misclassified")
+	}
+}

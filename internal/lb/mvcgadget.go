@@ -1,0 +1,154 @@
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"distspanner/internal/graph"
+)
+
+// MVCGadget is the Figure 3 reduction (Section 3): from an MVC instance G
+// it builds the weighted graph G_S whose minimum-cost 2-spanner equals the
+// minimum vertex cover of G exactly (Claim 3.1). Per vertex v, a triangle
+// v1, v2, v3 with w(v1,v2) = 1 and w(v1,v3) = w(v2,v3) = 0; per edge
+// {v,u} ∈ G, edges {v1,u1} and {v2,u2} of weight 0 plus one weight-2 edge
+// {v1,u2} (for v < u, fixing the paper's id-order choice).
+type MVCGadget struct {
+	Base *graph.Graph // the MVC instance
+	GS   *graph.Graph
+	// CapWeights, when set, lowers the weight-2 edges to weight 1 (the
+	// remark's 0/1-weight variant: an α-approximation then yields a
+	// 2α-approximation for MVC).
+	CapWeights bool
+}
+
+// V1 returns the id of v1 in G_S.
+func (m *MVCGadget) V1(v int) int { return 3 * v }
+
+// V2 returns the id of v2 in G_S.
+func (m *MVCGadget) V2(v int) int { return 3*v + 1 }
+
+// V3 returns the id of v3 in G_S.
+func (m *MVCGadget) V3(v int) int { return 3*v + 2 }
+
+// NewMVCGadget builds G_S from g.
+func NewMVCGadget(g *graph.Graph, capWeights bool) *MVCGadget {
+	m := &MVCGadget{Base: g, CapWeights: capWeights}
+	gs := graph.New(3 * g.N())
+	setW := func(idx int, w float64) { gs.SetWeight(idx, w) }
+	heavy := 2.0
+	if capWeights {
+		heavy = 1
+	}
+	for v := 0; v < g.N(); v++ {
+		setW(gs.AddEdge(m.V1(v), m.V2(v)), 1)
+		setW(gs.AddEdge(m.V1(v), m.V3(v)), 0)
+		setW(gs.AddEdge(m.V2(v), m.V3(v)), 0)
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i) // canonical U < V
+		v, u := e.U, e.V
+		setW(gs.AddEdge(m.V1(v), m.V1(u)), 0)
+		setW(gs.AddEdge(m.V2(v), m.V2(u)), 0)
+		setW(gs.AddEdge(m.V1(v), m.V2(u)), heavy)
+	}
+	m.GS = gs
+	return m
+}
+
+// CoverToSpanner implements the forward direction of Claim 3.1: a vertex
+// cover C of the base graph maps to a 2-spanner of G_S with cost |C| (all
+// weight-0 edges plus the edge {v1, v2} for each v ∈ C).
+func (m *MVCGadget) CoverToSpanner(cover []int) *graph.EdgeSet {
+	h := graph.NewEdgeSet(m.GS.M())
+	for i := 0; i < m.GS.M(); i++ {
+		if m.GS.Weight(i) == 0 {
+			h.Add(i)
+		}
+	}
+	for _, v := range cover {
+		idx, ok := m.GS.EdgeIndex(m.V1(v), m.V2(v))
+		if !ok {
+			panic(fmt.Sprintf("lb: missing triangle edge for vertex %d", v))
+		}
+		h.Add(idx)
+	}
+	return h
+}
+
+// SpannerToCover implements the reverse direction of Claim 3.1: any
+// 2-spanner H of G_S converts, without cost increase, to a vertex cover of
+// the base graph. Weight-2 edges {v1,u2} in H are replaced by {v1,v2} and
+// {u1,u2}; the cover is then {v : {v1,v2} ∈ H'}.
+func (m *MVCGadget) SpannerToCover(h *graph.EdgeSet) []int {
+	inCover := make(map[int]bool)
+	h.ForEach(func(i int) {
+		e := m.GS.Edge(i)
+		w := m.GS.Weight(i)
+		if w == 0 {
+			return
+		}
+		// Identify which gadget edge this is.
+		uBase, uRole := e.U/3, e.U%3
+		vBase, vRole := e.V/3, e.V%3
+		if uBase == vBase && uRole == 0 && vRole == 1 {
+			inCover[uBase] = true // a {v1, v2} edge
+			return
+		}
+		// A heavy cross edge {v1, u2}: take both endpoints' vertices.
+		if uRole == 0 && vRole == 1 {
+			inCover[uBase] = true
+			inCover[vBase] = true
+		}
+	})
+	out := make([]int, 0, len(inCover))
+	for v := range inCover {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsVertexCover reports whether set covers all edges of the base graph.
+func (m *MVCGadget) IsVertexCover(set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for i := 0; i < m.Base.M(); i++ {
+		e := m.Base.Edge(i)
+		if !in[e.U] && !in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// DirectedMVCGadget builds the directed variant from the Section 3
+// remarks: triangle arcs (v1→v2), (v1→v3), (v3→v2); per base edge {v,u}
+// (v < u): (v1→u1), (u1→v1), (v2→u2), (u2→v2) of weight 0 and the heavy
+// (v1→u2).
+func DirectedMVCGadget(g *graph.Graph, capWeights bool) (*graph.Digraph, *MVCGadget) {
+	m := &MVCGadget{Base: g, CapWeights: capWeights}
+	gs := graph.NewDigraph(3 * g.N())
+	heavy := 2.0
+	if capWeights {
+		heavy = 1
+	}
+	setW := func(idx int, w float64) { gs.SetWeight(idx, w) }
+	for v := 0; v < g.N(); v++ {
+		setW(gs.AddEdge(m.V1(v), m.V2(v)), 1)
+		setW(gs.AddEdge(m.V1(v), m.V3(v)), 0)
+		setW(gs.AddEdge(m.V3(v), m.V2(v)), 0)
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		v, u := e.U, e.V
+		setW(gs.AddEdge(m.V1(v), m.V1(u)), 0)
+		setW(gs.AddEdge(m.V1(u), m.V1(v)), 0)
+		setW(gs.AddEdge(m.V2(v), m.V2(u)), 0)
+		setW(gs.AddEdge(m.V2(u), m.V2(v)), 0)
+		setW(gs.AddEdge(m.V1(v), m.V2(u)), heavy)
+	}
+	return gs, m
+}

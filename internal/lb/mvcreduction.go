@@ -1,0 +1,60 @@
+package lb
+
+import (
+	"distspanner/internal/core"
+	"distspanner/internal/graph"
+)
+
+// MVCViaSpanner makes Lemma 3.2 executable in the forward direction: any
+// distributed α-approximation for the weighted 2-spanner problem yields an
+// α-approximation for minimum vertex cover with a 3× round overhead, by
+// simulating the spanner algorithm on the gadget G_S (each vertex of G
+// simulates its three gadget vertices, and each gadget round costs three
+// rounds of G).
+//
+// Here the spanner algorithm is the paper's own weighted variant
+// (Theorem 4.12), so the composition is a distributed O(log Δ)-approximate
+// vertex cover — the reduction run forwards instead of as a lower bound.
+type MVCResult struct {
+	// Cover is the produced vertex cover of the base graph.
+	Cover []int
+	// SpannerCost is the weighted 2-spanner cost on G_S; the cover size
+	// never exceeds it (Claim 3.1's conversion).
+	SpannerCost float64
+	// GadgetRounds is the simulated algorithm's round count on G_S.
+	GadgetRounds int
+	// SimulatedRounds is the Lemma 3.2 accounting on G: 3 × GadgetRounds.
+	SimulatedRounds int
+}
+
+// MVCViaSpanner runs the reduction on g.
+func MVCViaSpanner(g *graph.Graph, opts core.Options) (*MVCResult, error) {
+	m := NewMVCGadget(g, false)
+	res, err := core.TwoSpanner(m.GS, opts)
+	if err != nil {
+		return nil, err
+	}
+	cover := m.SpannerToCover(res.Spanner)
+	// The conversion may undershoot coverage only if the spanner was
+	// invalid; guard by completing greedily (never triggered in tests,
+	// kept for safety against future algorithm changes).
+	if !m.IsVertexCover(cover) {
+		inCover := make(map[int]bool, len(cover))
+		for _, v := range cover {
+			inCover[v] = true
+		}
+		for i := 0; i < g.M(); i++ {
+			e := g.Edge(i)
+			if !inCover[e.U] && !inCover[e.V] {
+				inCover[e.U] = true
+				cover = append(cover, e.U)
+			}
+		}
+	}
+	return &MVCResult{
+		Cover:           cover,
+		SpannerCost:     res.Cost,
+		GadgetRounds:    res.Stats.Rounds,
+		SimulatedRounds: 3 * res.Stats.Rounds,
+	}, nil
+}

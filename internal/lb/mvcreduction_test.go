@@ -1,0 +1,83 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"distspanner/internal/core"
+	"distspanner/internal/exact"
+	"distspanner/internal/gen"
+)
+
+func TestMVCViaSpannerProducesCover(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.ConnectedGNP(14, 0.3, seed)
+		res, err := MVCViaSpanner(g, core.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMVCGadget(g, false)
+		if !m.IsVertexCover(res.Cover) {
+			t.Fatalf("seed %d: reduction output is not a vertex cover", seed)
+		}
+		if float64(len(res.Cover)) > res.SpannerCost+1e-9 {
+			t.Fatalf("seed %d: cover size %d exceeds spanner cost %f (Claim 3.1 conversion)",
+				seed, len(res.Cover), res.SpannerCost)
+		}
+		if res.SimulatedRounds != 3*res.GadgetRounds {
+			t.Fatal("Lemma 3.2 round accounting wrong")
+		}
+	}
+}
+
+func TestMVCViaSpannerRatio(t *testing.T) {
+	// The composed algorithm inherits the weighted spanner's O(log Δ)
+	// guarantee (Lemma 3.2 transfers ratios exactly).
+	g := gen.ConnectedGNP(16, 0.35, 7)
+	opt := len(exact.MinVertexCover(g))
+	if opt == 0 {
+		t.Skip("degenerate instance")
+	}
+	bound := 10 * (math.Log2(float64(3*g.MaxDegree())+2) + 2)
+	for seed := int64(0); seed < 6; seed++ {
+		res, err := MVCViaSpanner(g, core.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(res.Cover)) / float64(opt)
+		if ratio > bound {
+			t.Fatalf("seed %d: MVC ratio %.2f exceeds transferred O(log Δ) bound %.2f", seed, ratio, bound)
+		}
+	}
+}
+
+func TestMVCViaSpannerEdgeless(t *testing.T) {
+	g := gen.Path(1)
+	res, err := MVCViaSpanner(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover) != 0 {
+		t.Fatalf("edgeless graph needs an empty cover, got %v", res.Cover)
+	}
+}
+
+func TestTradeoffCurves(t *testing.T) {
+	// More rounds buy smaller unavoidable ratios; both curves must be
+	// decreasing in k and increasing in n / Δ.
+	if TradeoffRatioN(1<<20, 1) <= TradeoffRatioN(1<<20, 2) {
+		t.Fatal("n-curve must decrease with k")
+	}
+	if TradeoffRatioN(1<<20, 1) <= TradeoffRatioN(1<<10, 1) {
+		t.Fatal("n-curve must increase with n")
+	}
+	if TradeoffRatioDelta(1024, 1) != 32 {
+		t.Fatalf("Δ-curve at (1024,1) = %f, want Δ^{1/2}/1 = 32", TradeoffRatioDelta(1024, 1))
+	}
+	if TradeoffRatioDelta(1024, 3) >= TradeoffRatioDelta(1024, 2) {
+		t.Fatal("Δ-curve must decrease with k")
+	}
+	if TradeoffRatioN(1, 1) != 0 || TradeoffRatioDelta(1, 1) != 0 {
+		t.Fatal("degenerate inputs must be 0")
+	}
+}

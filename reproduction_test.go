@@ -1,0 +1,170 @@
+// Reproduction CI: one integration test per paper claim, in miniature.
+// These are fast versions of the E1-E15 experiment assertions, so a plain
+// `go test ./...` re-validates the reproduction end to end.
+package distspanner_test
+
+import (
+	"math"
+	"testing"
+
+	"distspanner"
+	"distspanner/internal/core"
+	"distspanner/internal/exact"
+	"distspanner/internal/gen"
+	"distspanner/internal/lb"
+	"distspanner/internal/span"
+)
+
+func TestReproFig1Dichotomy(t *testing.T) {
+	// Lemma 2.3: disjoint => sparse 5-spanner; conflicts force β² D-edges.
+	l, beta := 3, 4
+	a, b := lb.DisjointInputs(l*l, 0.4, 1)
+	f, err := lb.NewFig1(l, beta, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyClaim22(); err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsDirectedKSpanner(f.G, f.NonDSpanner(), 5) {
+		t.Fatal("disjoint side broken")
+	}
+	a2, b2 := lb.IntersectingInputs(l*l, 1, 0.3, 2)
+	f2, err := lb.NewFig1(l, beta, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.ForcedDEdges().Len() != beta*beta {
+		t.Fatal("conflict must force β² D-edges")
+	}
+}
+
+func TestReproWeightedDichotomy(t *testing.T) {
+	// Theorem 2.9: zero-cost 4-spanner iff disjoint.
+	a, b := lb.DisjointInputs(9, 0.4, 1)
+	f, err := lb.NewFig2(3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsDirectedKSpanner(f.G, f.ZeroCostSpanner(), 4) {
+		t.Fatal("disjoint side broken")
+	}
+	a2, b2 := lb.IntersectingInputs(9, 1, 0.3, 2)
+	f2, err := lb.NewFig2(3, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.IsDirectedKSpanner(f2.G, f2.ZeroCostSpanner(), 4) {
+		t.Fatal("intersecting side broken")
+	}
+}
+
+func TestReproClaim31(t *testing.T) {
+	// Figure 3: min-cost 2-spanner of G_S equals MVC of G.
+	g := gen.GNP(5, 0.5, 1)
+	m := lb.NewMVCGadget(g, false)
+	mvc := len(exact.MinVertexCover(g))
+	_, cost, err := exact.MinSpanner(m.GS, exact.SpannerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != float64(mvc) {
+		t.Fatalf("gadget equality broken: %f vs %d", cost, mvc)
+	}
+}
+
+func TestReproTheorem13(t *testing.T) {
+	// The main algorithm: guaranteed ratio and Claim 4.4 invariant over
+	// several seeds.
+	g := distspanner.RandomGraph(24, 0.3, 3)
+	bound := 80 * (math.Log2(math.Max(2, float64(g.M())/float64(g.N()))) + 2)
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !distspanner.VerifySpanner(g, res.Spanner, 2) {
+			t.Fatal("invalid spanner")
+		}
+		if res.Fallbacks != 0 {
+			t.Fatal("Claim 4.4 fallback")
+		}
+		if res.Cost/float64(g.N()-1) > bound {
+			t.Fatal("ratio bound exceeded")
+		}
+	}
+}
+
+func TestReproTheorem51(t *testing.T) {
+	// MDS: guaranteed O(log Δ) ratio and CONGEST legality.
+	g := distspanner.RandomGraph(20, 0.25, 4)
+	opt := len(exact.MinDominatingSet(g))
+	bound := 8 * (math.Log2(float64(g.MaxDegree())+1) + 2)
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := distspanner.BuildMDS(g, distspanner.MDSOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(len(res.DominatingSet))/float64(opt) > bound {
+			t.Fatal("MDS ratio bound exceeded")
+		}
+	}
+}
+
+func TestReproTheorem12(t *testing.T) {
+	// (1+ε)-approximation against exact OPT.
+	g := distspanner.CompleteBipartite(3, 3)
+	const eps = 0.5
+	res, err := distspanner.BuildEpsilonSpanner(g, distspanner.EpsilonOptions{K: 2, Eps: eps, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := exact.MinSpanner(g, exact.SpannerOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > (1+eps)*opt+1e-9 {
+		t.Fatal("(1+ε) bound exceeded")
+	}
+}
+
+func TestReproSection13Overhead(t *testing.T) {
+	// CONGEST execution: identical output, Θ(Δ) subrounds, enforced budget.
+	g := distspanner.RandomGraph(16, 0.4, 5)
+	local, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	congest, err := distspanner.Build2SpannerCongest(g, distspanner.Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Spanner.Equal(congest.Spanner) {
+		t.Fatal("CONGEST output differs from LOCAL")
+	}
+	if congest.Stats.Rounds != local.Stats.Rounds*congest.Subrounds {
+		t.Fatal("subround accounting broken")
+	}
+}
+
+func TestReproLemma32Forward(t *testing.T) {
+	// The gadget composed with the weighted algorithm yields a valid
+	// distributed vertex cover.
+	g := gen.ConnectedGNP(12, 0.35, 7)
+	res, err := lb.MVCViaSpanner(g, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lb.NewMVCGadget(g, false)
+	if !m.IsVertexCover(res.Cover) {
+		t.Fatal("reduction output is not a cover")
+	}
+}
+
+func TestReproCommComplexityCertificate(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		if err := lb.VerifyDisjointnessFoolingSet(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module distspanner
+
+go 1.24

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"distspanner/internal/graph"
+)
+
+// The execution-mode baseline for future perf work: rounds/sec of a plain
+// gossip protocol under goroutine-per-vertex execution (Workers < 0)
+// versus the gated worker pool (Workers > 0), across network sizes.
+// Larger n amortizes scheduler pressure differently in the two modes;
+// this benchmark is what a perf PR should move.
+
+const benchRounds = 16
+
+// benchGraph is a ring with chords: degree 4, deterministic, cheap to
+// build at any size.
+func benchGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+		if n > 4 {
+			g.AddEdge(v, (v+2)%n)
+		}
+	}
+	return g
+}
+
+func benchProc(ctx *Ctx) {
+	for r := 0; r < benchRounds; r++ {
+		ctx.Broadcast(blob{val: r, size: 32})
+		for _, m := range ctx.NextRound() {
+			_ = m.Payload.(blob).val
+		}
+	}
+}
+
+func runEngineBenchmark(b *testing.B, n, workers int) {
+	g := benchGraph(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := Run(Config{Graph: g, Seed: 1, Workers: workers}, benchProc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Rounds != benchRounds {
+			b.Fatalf("rounds = %d", stats.Rounds)
+		}
+	}
+	b.StopTimer()
+	roundsPerSec := float64(benchRounds) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(roundsPerSec, "rounds/sec")
+}
+
+func BenchmarkGoroutinePerVertex(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runEngineBenchmark(b, n, -1)
+		})
+	}
+}
+
+func BenchmarkWorkerPool(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runEngineBenchmark(b, n, 0) // auto: pool above PoolThreshold
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Ctx is the per-vertex surface of the engine: identity, topology access,
+// a private deterministic RNG, and the send/receive primitives. Exactly
+// one goroutine (the vertex's own) may use a Ctx.
+type Ctx struct {
+	eng  *engine
+	id   int
+	nbrs []int // sorted neighbor ids
+	rng  *rand.Rand
+
+	inbox    []Message // delivered by the engine at each barrier
+	outbox   []outMsg  // queued sends of the current round
+	edgeBits []int     // routing scratch, parallel to nbrs
+	done     bool      // proc returned
+	holding  bool      // occupies a worker-pool slot
+}
+
+func newCtx(e *engine, id int, seed int64) *Ctx {
+	nbrs := e.g.Neighbors(id) // freshly allocated and sorted
+	return &Ctx{
+		eng:      e,
+		id:       id,
+		nbrs:     nbrs,
+		rng:      rand.New(rand.NewSource(vertexSeed(seed, id))),
+		edgeBits: make([]int, len(nbrs)),
+	}
+}
+
+// vertexSeed decorrelates the per-vertex RNG streams from the run seed
+// with a splitmix64 step, so neighboring ids do not get correlated
+// randomness.
+func vertexSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ID returns this vertex's id in 0..N()-1.
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of vertices in the network. Ids are globally
+// known, as the paper's model assumes.
+func (c *Ctx) N() int { return c.eng.n }
+
+// Neighbors returns this vertex's neighbor ids in ascending order. The
+// slice is shared; callers must not modify it.
+func (c *Ctx) Neighbors() []int { return c.nbrs }
+
+// Degree returns the number of neighbors.
+func (c *Ctx) Degree() int { return len(c.nbrs) }
+
+// Rand returns this vertex's private RNG. Its stream is a deterministic
+// function of (Config.Seed, vertex id), which is what makes whole runs
+// reproducible.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Send queues p for delivery to the neighbor to at the next round
+// boundary. Sends are committed by the sender's next NextRound call;
+// sends queued after a vertex's last NextRound are discarded when its
+// procedure returns. Sending to a non-neighbor (or to yourself) panics:
+// the model only has channels along graph edges.
+func (c *Ctx) Send(to int, p Payload) {
+	c.nbrIndex(to) // validates
+	c.outbox = append(c.outbox, outMsg{to: to, p: p})
+}
+
+// Broadcast queues p for every neighbor.
+func (c *Ctx) Broadcast(p Payload) {
+	for _, u := range c.nbrs {
+		c.outbox = append(c.outbox, outMsg{to: u, p: p})
+	}
+}
+
+// NextRound ends this vertex's current round: all queued sends are
+// committed, the vertex blocks until every other active vertex has done
+// the same, and the messages addressed to it in the completed round are
+// returned, sorted by sender id (ties in send order).
+func (c *Ctx) NextRound() []Message {
+	return c.eng.barrier(c)
+}
+
+// nbrIndex returns to's position in the sorted neighbor list, panicking
+// when to is not a neighbor.
+func (c *Ctx) nbrIndex(to int) int {
+	i := sort.SearchInts(c.nbrs, to)
+	if i >= len(c.nbrs) || c.nbrs[i] != to {
+		panic(fmt.Sprintf("dist: vertex %d cannot send to %d: not a neighbor", c.id, to))
+	}
+	return i
+}
+
+// acquire takes a worker-pool slot before executing a step; a no-op in
+// goroutine-per-vertex mode.
+func (c *Ctx) acquire() {
+	if c.eng.sem != nil {
+		c.eng.sem <- struct{}{}
+		c.holding = true
+	}
+}
+
+// release returns the slot while blocked at a barrier (or retired).
+func (c *Ctx) release() {
+	if c.holding {
+		<-c.eng.sem
+		c.holding = false
+	}
+}

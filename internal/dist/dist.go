@@ -1,0 +1,397 @@
+// Package dist is the synchronous round-based message-passing simulator
+// the distributed algorithms run on. It implements the classic LOCAL /
+// CONGEST execution model of the paper: computation proceeds in global
+// rounds, in each round every vertex sends payloads to neighbors, and all
+// payloads sent in round r are delivered at the start of round r+1.
+//
+// Every vertex executes the same procedure as a goroutine; rounds are
+// channel/condition barriers. The engine meters every payload's Bits()
+// size, so the same protocol can be classified as LOCAL (unbounded
+// messages) or CONGEST (O(log n) bits per edge per round) from its
+// measured Stats — and with Config.Enforce set, exceeding the bandwidth
+// budget is a runtime error, making CONGEST legality a checked property
+// rather than an assumption.
+//
+// # Accounting model
+//
+//   - A "round" is one barrier: all still-running vertices call
+//     Ctx.NextRound once. Stats.Rounds is the maximum number of NextRound
+//     calls made by any vertex.
+//   - Each payload is metered at its Bits() size. Stats.TotalBits and
+//     Stats.Messages aggregate over the whole run; Stats.MaxMessageBits is
+//     the largest single payload.
+//   - Stats.MaxEdgeRoundBits is the maximum, over every directed edge and
+//     round, of the bits sent across that edge in that round. A protocol
+//     is CONGEST-legal for budget B iff MaxEdgeRoundBits <= B; that is
+//     what Stats.CongestCompatible reports and Config.Enforce enforces.
+//   - With Config.CutSide set, Stats.CutBits additionally totals the bits
+//     crossing the two-party cut, which is what converts runs on the
+//     lower-bound constructions into communication-complexity arguments.
+//
+// Executions are deterministic functions of (Config.Graph, Config.Seed):
+// each vertex gets a private RNG derived from the seed, and inboxes are
+// delivered sorted by sender id, so goroutine scheduling never leaks into
+// results or statistics.
+//
+// # Execution modes
+//
+// Below Config.Workers' threshold every vertex goroutine runs freely
+// between barriers (goroutine-per-vertex). At large n the engine gates
+// step execution through a bounded worker pool and shards the per-round
+// metering across CPUs; both modes produce identical results, and
+// bench_test.go measures the crossover.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"distspanner/internal/graph"
+)
+
+// Payload is a message body. Bits reports its encoded size in bits — the
+// quantity the engine meters and (optionally) enforces.
+type Payload interface {
+	Bits() int
+}
+
+// Message is one delivered payload together with its sender.
+type Message struct {
+	From    int
+	Payload Payload
+}
+
+// Config configures a Run.
+type Config struct {
+	// Graph is the communication topology; vertices are 0..N()-1 and
+	// messages travel only along its edges.
+	Graph *graph.Graph
+	// Seed drives all per-vertex randomness. Runs are deterministic
+	// functions of (Graph, Seed).
+	Seed int64
+	// Bandwidth is the per-directed-edge per-round bit budget. Zero means
+	// unlimited (pure LOCAL); a positive value defines what counts as a
+	// bandwidth violation.
+	Bandwidth int
+	// Enforce makes a bandwidth violation abort the run with an error
+	// wrapping ErrBandwidth. Without it, violations are only counted in
+	// Stats.BandwidthViolations.
+	Enforce bool
+	// MaxRounds aborts runaway executions with an error wrapping
+	// ErrRoundLimit; zero uses DefaultMaxRounds.
+	MaxRounds int
+	// CutSide, when non-nil, partitions the vertices into a two-party cut
+	// (Alice = false, Bob = true); the engine then meters the bits
+	// crossing the cut in Stats.CutBits. Length must equal Graph.N().
+	CutSide []bool
+	// Workers caps how many vertex steps execute concurrently. Zero picks
+	// automatically: unlimited (goroutine-per-vertex) below
+	// PoolThreshold vertices, a small multiple of GOMAXPROCS above it.
+	// Negative forces unlimited; positive forces that cap.
+	Workers int
+}
+
+// DefaultMaxRounds is the round limit used when Config.MaxRounds is zero.
+const DefaultMaxRounds = 1 << 20
+
+// PoolThreshold is the vertex count at which Run switches from free
+// goroutine-per-vertex execution to the gated worker pool by default.
+const PoolThreshold = 4096
+
+// ErrRoundLimit is wrapped by Run's error when MaxRounds is exceeded.
+var ErrRoundLimit = errors.New("dist: round limit exceeded")
+
+// ErrBandwidth is wrapped by Run's error when an enforced bandwidth
+// budget is violated.
+var ErrBandwidth = errors.New("dist: bandwidth exceeded")
+
+// abortSignal is panicked through vertex goroutines to unwind them when
+// the run aborts; the vertex wrapper recovers it.
+type abortSignal struct{}
+
+// outMsg is one queued send.
+type outMsg struct {
+	to int
+	p  Payload
+}
+
+// engine is the shared state of one Run.
+type engine struct {
+	g         *graph.Graph
+	n         int
+	bandwidth int
+	enforce   bool
+	maxRounds int
+	cut       []bool
+	sem       chan struct{} // nil: unlimited concurrency
+	routePar  int           // goroutines for sharded metering
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     uint64 // round generation, bumped at each barrier release
+	arrived int    // vertices blocked at the current barrier
+	active  int    // vertices still running
+	abort   error
+
+	ctxs  []*Ctx
+	stats Stats
+
+	wg sync.WaitGroup
+}
+
+// Run executes proc once per vertex of cfg.Graph as a synchronous
+// message-passing protocol and returns the metered statistics. It returns
+// an error when the round limit is exceeded or, with cfg.Enforce set, when
+// any directed edge carries more than cfg.Bandwidth bits in one round.
+func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("dist: Config.Graph is nil")
+	}
+	n := cfg.Graph.N()
+	if cfg.CutSide != nil && len(cfg.CutSide) != n {
+		return nil, fmt.Errorf("dist: CutSide has %d entries for %d vertices", len(cfg.CutSide), n)
+	}
+	if n == 0 {
+		return &Stats{}, nil
+	}
+	e := &engine{
+		g:         cfg.Graph,
+		n:         n,
+		bandwidth: cfg.Bandwidth,
+		enforce:   cfg.Enforce,
+		maxRounds: cfg.MaxRounds,
+		cut:       cfg.CutSide,
+		routePar:  runtime.GOMAXPROCS(0),
+		active:    n,
+	}
+	if e.maxRounds <= 0 {
+		e.maxRounds = DefaultMaxRounds
+	}
+	e.cond = sync.NewCond(&e.mu)
+	workers := cfg.Workers
+	if workers == 0 && n >= PoolThreshold {
+		workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if workers > 0 {
+		e.sem = make(chan struct{}, workers)
+	}
+	e.ctxs = make([]*Ctx, n)
+	for v := 0; v < n; v++ {
+		e.ctxs[v] = newCtx(e, v, cfg.Seed)
+	}
+	e.wg.Add(n)
+	for v := 0; v < n; v++ {
+		go e.runVertex(e.ctxs[v], proc)
+	}
+	e.wg.Wait()
+	if e.abort != nil {
+		return nil, e.abort
+	}
+	s := e.stats
+	return &s, nil
+}
+
+// runVertex is the per-vertex goroutine wrapper: it gates entry through
+// the worker pool, runs proc, and unwinds cleanly on engine aborts.
+func (e *engine) runVertex(c *Ctx, proc func(*Ctx)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				// A protocol bug (bad send, failed type assertion, ...)
+				// must not kill the process or deadlock the barrier: turn
+				// it into a Run error and unwind every other vertex.
+				e.mu.Lock()
+				if e.abort == nil {
+					e.abort = fmt.Errorf("dist: vertex %d panicked: %v\n%s", c.id, r, debug.Stack())
+				}
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			}
+		}
+		e.finish(c)
+	}()
+	c.acquire()
+	proc(c)
+}
+
+// finish retires a vertex whose proc returned (or was unwound). If every
+// other active vertex is already waiting at the barrier, the retirement is
+// what completes the round.
+func (e *engine) finish(c *Ctx) {
+	c.release()
+	e.mu.Lock()
+	// Sends are committed by NextRound; sends queued after a vertex's last
+	// barrier are discarded, never half-delivered depending on peers.
+	c.outbox = nil
+	c.done = true
+	e.active--
+	if e.active > 0 && e.arrived == e.active {
+		e.completeRoundLocked()
+	}
+	e.mu.Unlock()
+	e.wg.Done()
+}
+
+// barrier is the body of Ctx.NextRound: park until every active vertex has
+// arrived or finished, have the last one meter and deliver the round, and
+// return this vertex's inbox.
+func (e *engine) barrier(c *Ctx) []Message {
+	c.release()
+	e.mu.Lock()
+	if e.abort != nil {
+		e.mu.Unlock()
+		panic(abortSignal{})
+	}
+	e.arrived++
+	if e.arrived == e.active {
+		e.completeRoundLocked()
+	} else {
+		gen := e.gen
+		for e.gen == gen && e.abort == nil {
+			e.cond.Wait()
+		}
+	}
+	if e.abort != nil {
+		e.mu.Unlock()
+		panic(abortSignal{})
+	}
+	inbox := c.inbox
+	c.inbox = nil
+	e.mu.Unlock()
+	c.acquire()
+	return inbox
+}
+
+// completeRoundLocked meters and delivers every queued message, advances
+// the round, and releases the barrier. Called with e.mu held by the last
+// vertex to arrive (or retire).
+func (e *engine) completeRoundLocked() {
+	if e.abort == nil {
+		e.stats.Rounds++
+		if e.stats.Rounds > e.maxRounds {
+			e.abort = fmt.Errorf("%w: %d rounds executed (MaxRounds %d)", ErrRoundLimit, e.stats.Rounds, e.maxRounds)
+		} else {
+			e.routeLocked()
+		}
+	}
+	e.arrived = 0
+	e.gen++
+	e.cond.Broadcast()
+}
+
+// meterResult is the per-sender accounting of one round, computed
+// independently per sender so the work can be sharded.
+type meterResult struct {
+	msgs, bits, cut int64
+	maxMsg, maxEdge int
+	viol            int64
+	violTo          int // receiver of this sender's first violation, -1 if none
+	violBits        int
+}
+
+// routeLocked aggregates statistics and delivers all outboxes. Senders are
+// metered independently (in parallel for large rounds) and merged in
+// vertex-id order, so inboxes arrive sorted by sender and every statistic
+// is deterministic.
+func (e *engine) routeLocked() {
+	var senders []*Ctx
+	for _, c := range e.ctxs {
+		if len(c.outbox) > 0 {
+			senders = append(senders, c)
+		}
+	}
+	if len(senders) == 0 {
+		return
+	}
+	results := make([]meterResult, len(senders))
+	if e.routePar > 1 && len(senders) >= 64 {
+		var wg sync.WaitGroup
+		shard := (len(senders) + e.routePar - 1) / e.routePar
+		for lo := 0; lo < len(senders); lo += shard {
+			hi := lo + shard
+			if hi > len(senders) {
+				hi = len(senders)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					results[i] = e.meterSender(senders[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i, c := range senders {
+			results[i] = e.meterSender(c)
+		}
+	}
+	for i, c := range senders {
+		r := &results[i]
+		e.stats.Messages += r.msgs
+		e.stats.TotalBits += r.bits
+		e.stats.CutBits += r.cut
+		if r.maxMsg > e.stats.MaxMessageBits {
+			e.stats.MaxMessageBits = r.maxMsg
+		}
+		if r.maxEdge > e.stats.MaxEdgeRoundBits {
+			e.stats.MaxEdgeRoundBits = r.maxEdge
+		}
+		if r.viol > 0 {
+			e.stats.BandwidthViolations += r.viol
+			if e.enforce && e.abort == nil {
+				e.abort = fmt.Errorf("%w: vertex %d sent %d bits to %d in round %d (budget %d)",
+					ErrBandwidth, c.id, r.violBits, r.violTo, e.stats.Rounds, e.bandwidth)
+			}
+		}
+		for _, m := range c.outbox {
+			to := e.ctxs[m.to]
+			if !to.done {
+				to.inbox = append(to.inbox, Message{From: c.id, Payload: m.p})
+			}
+		}
+		c.outbox = c.outbox[:0]
+	}
+}
+
+// meterSender sizes one sender's round of messages: global aggregates plus
+// the per-directed-edge accumulation behind MaxEdgeRoundBits and the
+// bandwidth check. It touches only the sender's own state.
+func (e *engine) meterSender(c *Ctx) meterResult {
+	r := meterResult{violTo: -1}
+	for _, m := range c.outbox {
+		b := m.p.Bits()
+		if b < 0 {
+			b = 0
+		}
+		r.msgs++
+		r.bits += int64(b)
+		if b > r.maxMsg {
+			r.maxMsg = b
+		}
+		if e.cut != nil && e.cut[c.id] != e.cut[m.to] {
+			r.cut += int64(b)
+		}
+		c.edgeBits[c.nbrIndex(m.to)] += b
+	}
+	for i, eb := range c.edgeBits {
+		if eb == 0 {
+			continue
+		}
+		c.edgeBits[i] = 0
+		if eb > r.maxEdge {
+			r.maxEdge = eb
+		}
+		if e.bandwidth > 0 && eb > e.bandwidth {
+			r.viol++
+			if r.violTo < 0 {
+				r.violTo = c.nbrs[i]
+				r.violBits = eb
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,16 @@
+package dist
+
+// Pairs is a generic payload carrying id pairs from a space of Space ids
+// — edges, in practice. The lower-bound harness uses it to run naive
+// "learn your neighborhood" protocols whose cut traffic it meters; it is
+// also convenient for tests.
+type Pairs struct {
+	// Space is the id universe size used for sizing (IDBits(Space) bits
+	// per id).
+	Space int
+	// Values are the pairs themselves.
+	Values [][2]int
+}
+
+// Bits accounts one length word plus two id words per pair.
+func (p Pairs) Bits() int { return (1 + 2*len(p.Values)) * IDBits(p.Space) }

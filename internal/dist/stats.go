@@ -1,0 +1,48 @@
+package dist
+
+// Stats is the engine's accounting of one run. All quantities are
+// deterministic functions of (Config, procedure): two runs with the same
+// configuration produce identical Stats.
+type Stats struct {
+	// Rounds is the number of synchronous rounds executed: the maximum
+	// number of NextRound calls made by any vertex.
+	Rounds int
+	// Messages is the total number of payloads sent.
+	Messages int64
+	// TotalBits is the total metered size of all payloads.
+	TotalBits int64
+	// MaxMessageBits is the size of the largest single payload — the
+	// LOCAL-vs-CONGEST telltale for individual messages.
+	MaxMessageBits int
+	// MaxEdgeRoundBits is the maximum number of bits carried by one
+	// directed edge in one round: the quantity the CONGEST model bounds
+	// by O(log n).
+	MaxEdgeRoundBits int
+	// CutBits is the total bits crossing the Config.CutSide partition;
+	// zero when no cut was configured. This is the measurable quantity
+	// behind the paper's two-party simulation lower bounds.
+	CutBits int64
+	// BandwidthViolations counts (directed edge, round) pairs whose
+	// traffic exceeded Config.Bandwidth. With Config.Enforce the first
+	// violation aborts the run instead.
+	BandwidthViolations int64
+}
+
+// CongestCompatible reports whether every directed edge stayed within
+// budget bits in every round — i.e. whether the run was a legal CONGEST
+// execution for that bandwidth.
+func (s Stats) CongestCompatible(budget int) bool {
+	return s.MaxEdgeRoundBits <= budget
+}
+
+// IDBits returns the number of bits needed to name one of n vertices:
+// ceil(log2 n), and at least 1. It is the "word" unit of CONGEST
+// accounting; the conventional CONGEST budget is O(1) words of IDBits(n)
+// bits per edge per round.
+func IDBits(n int) int {
+	b := 1
+	for v := 2; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -54,6 +54,43 @@ func runEngineBenchmark(b *testing.B, n, workers int) {
 	b.ReportMetric(roundsPerSec, "rounds/sec")
 }
 
+// quietProc has only vertex 0 send each round; everyone else just spins
+// the barrier. This isolates the per-round delivery cost on quiet rounds,
+// which dominates the tail of the spanner algorithms (most vertices have
+// terminated). With dirty-sender tracking, routing is O(1) per quiet
+// round instead of an O(n) context scan.
+func quietProc(ctx *Ctx) {
+	for r := 0; r < benchRounds; r++ {
+		if ctx.ID() == 0 {
+			ctx.Send(ctx.Neighbors()[0], blob{val: r, size: 32})
+		}
+		for _, m := range ctx.NextRound() {
+			_ = m.Payload.(blob).val
+		}
+	}
+}
+
+func BenchmarkQuietRounds(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchGraph(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := Run(Config{Graph: g, Seed: 1, Workers: -1}, quietProc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Rounds != benchRounds {
+					b.Fatalf("rounds = %d", stats.Rounds)
+				}
+			}
+			b.StopTimer()
+			roundsPerSec := float64(benchRounds) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(roundsPerSec, "rounds/sec")
+		})
+	}
+}
+
 func BenchmarkGoroutinePerVertex(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

@@ -18,6 +18,7 @@ type Ctx struct {
 	inbox    []Message // delivered by the engine at each barrier
 	outbox   []outMsg  // queued sends of the current round
 	edgeBits []int     // routing scratch, parallel to nbrs
+	touched  []int     // edgeBits indices written this round (routing scratch)
 	done     bool      // proc returned
 	holding  bool      // occupies a worker-pool slot
 }

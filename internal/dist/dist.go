@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"distspanner/internal/graph"
@@ -135,6 +136,7 @@ type engine struct {
 	arrived int    // vertices blocked at the current barrier
 	active  int    // vertices still running
 	abort   error
+	dirty   []*Ctx // vertices that arrived at the current barrier with sends queued
 
 	ctxs  []*Ctx
 	stats Stats
@@ -246,6 +248,14 @@ func (e *engine) barrier(c *Ctx) []Message {
 		panic(abortSignal{})
 	}
 	e.arrived++
+	if len(c.outbox) > 0 {
+		// Dirty-sender tracking: senders register themselves on arrival, so
+		// round delivery never scans the n vertex contexts. Quiet rounds —
+		// ubiquitous in the later iterations of the spanner algorithms,
+		// where most vertices have terminated their stars — cost O(1)
+		// routing work instead of O(n).
+		e.dirty = append(e.dirty, c)
+	}
 	if e.arrived == e.active {
 		e.completeRoundLocked()
 	} else {
@@ -292,20 +302,21 @@ type meterResult struct {
 	violBits        int
 }
 
-// routeLocked aggregates statistics and delivers all outboxes. Senders are
-// metered independently (in parallel for large rounds) and merged in
-// vertex-id order, so inboxes arrive sorted by sender and every statistic
-// is deterministic.
+// routeLocked aggregates statistics and delivers all outboxes. The dirty
+// list holds exactly the vertices that queued sends this round (registered
+// as they hit the barrier), in arrival order; it is re-sorted by vertex id
+// so inboxes arrive sorted by sender and every statistic is deterministic
+// regardless of goroutine scheduling. Senders are metered independently
+// (in parallel for large rounds).
 func (e *engine) routeLocked() {
-	var senders []*Ctx
-	for _, c := range e.ctxs {
-		if len(c.outbox) > 0 {
-			senders = append(senders, c)
-		}
-	}
+	// All vertices are parked at the barrier while routing runs, so
+	// truncating in place cannot race with new arrivals registering.
+	senders := e.dirty
+	e.dirty = e.dirty[:0]
 	if len(senders) == 0 {
 		return
 	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i].id < senders[j].id })
 	results := make([]meterResult, len(senders))
 	if e.routePar > 1 && len(senders) >= 64 {
 		var wg sync.WaitGroup
@@ -359,7 +370,10 @@ func (e *engine) routeLocked() {
 
 // meterSender sizes one sender's round of messages: global aggregates plus
 // the per-directed-edge accumulation behind MaxEdgeRoundBits and the
-// bandwidth check. It touches only the sender's own state.
+// bandwidth check. It touches only the sender's own state. Only the edge
+// slots actually written this round are revisited (and re-zeroed), so the
+// cost is O(#messages) rather than O(degree) — a vertex of degree Δ that
+// pings one neighbor no longer pays a Δ-wide scan.
 func (e *engine) meterSender(c *Ctx) meterResult {
 	r := meterResult{violTo: -1}
 	for _, m := range c.outbox {
@@ -375,12 +389,14 @@ func (e *engine) meterSender(c *Ctx) meterResult {
 		if e.cut != nil && e.cut[c.id] != e.cut[m.to] {
 			r.cut += int64(b)
 		}
-		c.edgeBits[c.nbrIndex(m.to)] += b
-	}
-	for i, eb := range c.edgeBits {
-		if eb == 0 {
-			continue
+		i := c.nbrIndex(m.to)
+		if b > 0 && c.edgeBits[i] == 0 {
+			c.touched = append(c.touched, i)
 		}
+		c.edgeBits[i] += b
+	}
+	for _, i := range c.touched {
+		eb := c.edgeBits[i]
 		c.edgeBits[i] = 0
 		if eb > r.maxEdge {
 			r.maxEdge = eb
@@ -393,5 +409,6 @@ func (e *engine) meterSender(c *Ctx) meterResult {
 			}
 		}
 	}
+	c.touched = c.touched[:0]
 	return r
 }

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"distspanner/internal/graph"
+)
+
+// RingWithChords returns an expander-style graph: the cycle on n vertices
+// plus, for each vertex, chords random long-range chords to uniformly
+// chosen non-adjacent vertices. The ring guarantees connectivity while the
+// random chords push the spectral gap toward that of a random regular
+// graph, giving the low-diameter / no-dense-star regime that stresses the
+// round complexity of the spanner algorithms rather than their star rule.
+func RingWithChords(n, chords int, seed int64) *graph.Graph {
+	if n < 3 {
+		panic("gen: ring needs at least 3 vertices")
+	}
+	if chords < 0 {
+		panic("gen: chord count must be >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := Cycle(n)
+	for v := 0; v < n; v++ {
+		for c := 0; c < chords; c++ {
+			// A few rejections suffice on all but tiny rings; give up
+			// rather than loop forever when the vertex is saturated.
+			for attempt := 0; attempt < 32; attempt++ {
+				u := rng.Intn(n)
+				if u != v && !g.HasEdge(v, u) {
+					g.AddEdge(v, u)
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// SBM returns a stochastic-block-model graph: n vertices split into
+// communities contiguous equal blocks (the remainder spread over the first
+// blocks), with each intra-community pair joined with probability pin and
+// each cross-community pair with probability pout. With pin >> pout this
+// plants the dense-community structure the 2-spanner algorithm shortcuts.
+// Community(n, communities, v) recovers a vertex's block.
+func SBM(n, communities int, pin, pout float64, seed int64) *graph.Graph {
+	if communities < 1 || communities > n {
+		panic("gen: community count out of range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		cu := Community(n, communities, u)
+		for v := u + 1; v < n; v++ {
+			p := pout
+			if cu == Community(n, communities, v) {
+				p = pin
+			}
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Community returns the SBM block of vertex v when n vertices are split
+// into communities contiguous near-equal blocks: the first n%communities
+// blocks get one extra vertex.
+func Community(n, communities, v int) int {
+	base := n / communities
+	extra := n % communities
+	// The first `extra` blocks have size base+1.
+	if v < extra*(base+1) {
+		return v / (base + 1)
+	}
+	return extra + (v-extra*(base+1))/base
+}
+
+// WeightedGeometric returns a random geometric graph on n uniform points
+// in the unit square with connection radius radius, where every edge is
+// weighted by its Euclidean length (clamped away from zero so weighted
+// spanner cost ratios stay finite). It is the natural weighted workload
+// for the Theorem 4.12 algorithm: weights correlate with the topology
+// instead of being independent noise.
+func WeightedGeometric(n int, radius float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	g := graph.New(n)
+	r2 := radius * radius
+	type we struct {
+		idx int
+		w   float64
+	}
+	var ws []we
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			d2 := dx*dx + dy*dy
+			if d2 <= r2 {
+				i := g.AddEdge(u, v)
+				ws = append(ws, we{i, math.Max(math.Sqrt(d2), 1e-9)})
+			}
+		}
+	}
+	// Weights are set after all AddEdge calls so the unweighted skeleton
+	// is identical to Geometric(n, radius, seed).
+	for _, e := range ws {
+		g.SetWeight(e.idx, e.w)
+	}
+	return g
+}

@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func graphsEqual(t *testing.T, a, b interface {
+	N() int
+	M() int
+}) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("graphs differ: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+}
+
+func TestRingWithChordsStructure(t *testing.T) {
+	const n, chords = 128, 2
+	g := RingWithChords(n, chords, 7)
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("ring-with-chords must be connected (it contains the ring)")
+	}
+	// Ring edges are always present.
+	for v := 0; v < n; v++ {
+		if !g.HasEdge(v, (v+1)%n) {
+			t.Fatalf("missing ring edge %d-%d", v, (v+1)%n)
+		}
+	}
+	// Each vertex initiated up to `chords` chords, so m is close to
+	// n + n*chords (rejection can only lose a handful of chords).
+	wantM := n + n*chords
+	if g.M() > wantM || g.M() < wantM-n/8 {
+		t.Fatalf("m = %d, want close to %d", g.M(), wantM)
+	}
+	// Degrees concentrate around 2 + 2*chords.
+	avg := g.AvgDegree()
+	want := float64(2 + 2*chords)
+	if math.Abs(avg-want) > 0.5 {
+		t.Fatalf("avg degree %.2f, want ~%.1f", avg, want)
+	}
+}
+
+func TestRingWithChordsDeterministic(t *testing.T) {
+	a := RingWithChords(64, 3, 11)
+	b := RingWithChords(64, 3, 11)
+	graphsEqual(t, a, b)
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edge(i), b.Edge(i))
+		}
+	}
+	c := RingWithChords(64, 3, 12)
+	if c.M() == a.M() {
+		same := true
+		for i := 0; i < a.M(); i++ {
+			if a.Edge(i) != c.Edge(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical chord sets")
+		}
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	const n, k = 120, 4
+	g := SBM(n, k, 0.6, 0.02, 5)
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Count intra- vs inter-community edges and pair counts.
+	intraPairs, interPairs := 0, 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if Community(n, k, u) == Community(n, k, v) {
+				intraPairs++
+			} else {
+				interPairs++
+			}
+		}
+	}
+	intra, inter := 0, 0
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		if Community(n, k, e.U) == Community(n, k, e.V) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	intraDensity := float64(intra) / float64(intraPairs)
+	interDensity := float64(inter) / float64(interPairs)
+	if intraDensity < 0.45 || intraDensity > 0.75 {
+		t.Fatalf("intra density %.3f far from pin=0.6", intraDensity)
+	}
+	if interDensity > 0.06 {
+		t.Fatalf("inter density %.3f far from pout=0.02", interDensity)
+	}
+	if intraDensity < 5*interDensity {
+		t.Fatalf("no community structure: intra %.3f vs inter %.3f", intraDensity, interDensity)
+	}
+}
+
+func TestSBMCommunitySizes(t *testing.T) {
+	// 10 vertices in 3 communities: blocks of 4, 3, 3.
+	sizes := map[int]int{}
+	for v := 0; v < 10; v++ {
+		c := Community(10, 3, v)
+		if c < 0 || c >= 3 {
+			t.Fatalf("community %d out of range", c)
+		}
+		sizes[c]++
+	}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("block sizes %v, want 4/3/3", sizes)
+	}
+	// Blocks are contiguous: community is non-decreasing in v.
+	prev := 0
+	for v := 0; v < 10; v++ {
+		c := Community(10, 3, v)
+		if c < prev {
+			t.Fatalf("community not contiguous at v=%d", v)
+		}
+		prev = c
+	}
+}
+
+func TestSBMDeterministicAndConnected(t *testing.T) {
+	a := SBM(80, 4, 0.5, 0.05, 3)
+	b := SBM(80, 4, 0.5, 0.05, 3)
+	graphsEqual(t, a, b)
+	for i := 0; i < a.M(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	// At these densities every block is dense and blocks are bridged by
+	// cross edges w.h.p.; with the fixed seed this is a deterministic fact.
+	if !a.Connected() {
+		t.Fatal("SBM(80,4,0.5,0.05,3) should be connected")
+	}
+}
+
+func TestWeightedGeometric(t *testing.T) {
+	const n, radius = 100, 0.25
+	g := WeightedGeometric(n, radius, 9)
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges at radius 0.25")
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted-geometric graph must carry weights")
+	}
+	for i := 0; i < g.M(); i++ {
+		w := g.Weight(i)
+		if w <= 0 || w > radius+1e-12 {
+			t.Fatalf("edge %d weight %g outside (0, radius]", i, w)
+		}
+	}
+	// Same seed: identical skeleton and weights. The skeleton also matches
+	// the unweighted Geometric generator.
+	h := WeightedGeometric(n, radius, 9)
+	graphsEqual(t, g, h)
+	for i := 0; i < g.M(); i++ {
+		if g.Edge(i) != h.Edge(i) || g.Weight(i) != h.Weight(i) {
+			t.Fatalf("edge %d differs under fixed seed", i)
+		}
+	}
+	u := Geometric(n, radius, 9)
+	graphsEqual(t, g, u)
+	for i := 0; i < g.M(); i++ {
+		if g.Edge(i) != u.Edge(i) {
+			t.Fatalf("skeleton differs from Geometric at edge %d", i)
+		}
+	}
+	// Expected-degree sanity: average degree within a factor-2 band of the
+	// boundary-free estimate n·π·r².
+	exp := ExpectedGeometricDegree(n, radius)
+	if avg := g.AvgDegree(); avg < exp/2 || avg > 2*exp {
+		t.Fatalf("avg degree %.2f vs expected %.2f", avg, exp)
+	}
+}

@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serializes the report as indented JSON. Map keys (params,
+// metrics) marshal in sorted order, so the bytes are a deterministic
+// function of the report — the property the recorded BENCH_*.json
+// trajectory files rely on.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV serializes the per-cell aggregates as CSV: one row per cell,
+// with the union of parameter columns, then replicates/failures, then
+// <metric>_mean/_min/_max/_std column groups in sorted metric order.
+// Cells missing a parameter or metric (ragged case lists) leave the field
+// empty.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	params := r.ParamNames()
+	metrics := r.MetricNames()
+	header := append([]string{"scenario", "cell"}, params...)
+	header = append(header, "replicates", "failures")
+	for _, m := range metrics {
+		header = append(header, m+"_mean", m+"_min", m+"_max", m+"_std")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for ci, cell := range r.Cells {
+		row := []string{r.Scenario, strconv.Itoa(ci)}
+		for _, p := range params {
+			row = append(row, cell.Params[p])
+		}
+		row = append(row, strconv.Itoa(cell.Replicates), strconv.Itoa(cell.Failures))
+		for _, m := range metrics {
+			agg, ok := cell.Metrics[m]
+			if !ok {
+				row = append(row, "", "", "", "")
+				continue
+			}
+			row = append(row, formatFloat(agg.Mean), formatFloat(agg.Min),
+				formatFloat(agg.Max), formatFloat(agg.Std))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat renders aggregates compactly ("12" rather than "12.000000")
+// while keeping full precision for fractional values.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Summary writes a short human-readable digest: per-cell one line with the
+// parameter key and a few headline aggregates. It is what drivers print to
+// stderr alongside the machine-readable outputs.
+func (r *Report) Summary(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s: %d cells × %d replicates, %d failures\n",
+		r.Scenario, len(r.Cells), r.Replicates, r.Failures)
+	for ci, cell := range r.Cells {
+		status := "ok"
+		if cell.Failures > 0 {
+			status = fmt.Sprintf("%d FAILED", cell.Failures)
+		}
+		fmt.Fprintf(w, "  cell %d [%s]: %s\n", ci, cell.Params.Key(), status)
+		for _, e := range cell.Errors {
+			fmt.Fprintf(w, "    error: %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"distspanner/internal/scenario"
+)
+
+// TestNonFiniteMetricsSerialize reproduces the edgeless-graph case: a
+// metric like ln(maxDegree)+1 can be -Inf, which encoding/json rejects.
+// The report must still serialize (non-finite values become null) rather
+// than discarding a completed sweep.
+func TestNonFiniteMetricsSerialize(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name: "degenerate",
+		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+			return scenario.Metrics{
+				"neg_inf": math.Inf(-1),
+				"nan":     math.NaN(),
+				"fine":    3,
+			}, nil
+		},
+	}
+	rep, err := Execute(Options{Scenario: sc, Replicates: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON must survive non-finite metrics: %v", err)
+	}
+	var decoded struct {
+		Cells []struct {
+			Metrics map[string]map[string]interface{} `json:"metrics"`
+		} `json:"cells"`
+		Runs []struct {
+			Metrics map[string]interface{} `json:"metrics"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	run := decoded.Runs[0].Metrics
+	if run["neg_inf"] != nil || run["nan"] != nil {
+		t.Fatalf("per-run non-finite values must decode as null: %v", run)
+	}
+	if run["fine"] != 3.0 {
+		t.Fatalf("finite values must survive: %v", run)
+	}
+	// The -Inf aggregate (mean/min/max of [-Inf,-Inf]) must also be null,
+	// while its count stays intact.
+	agg := decoded.Cells[0].Metrics["neg_inf"]
+	if agg["mean"] != nil || agg["min"] != nil {
+		t.Fatalf("aggregate non-finite values must decode as null: %v", agg)
+	}
+	if agg["count"] != 2.0 {
+		t.Fatalf("aggregate count lost: %v", agg)
+	}
+	if s := buf.String(); strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		t.Fatalf("non-finite literal leaked into JSON:\n%s", s)
+	}
+	// CSV has no such restriction; it must also not error.
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+}

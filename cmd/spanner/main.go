@@ -19,6 +19,7 @@ import (
 
 	"distspanner/internal/baseline"
 	"distspanner/internal/core"
+	"distspanner/internal/dist"
 	"distspanner/internal/gen"
 	"distspanner/internal/graph"
 	"distspanner/internal/localmodel"
@@ -35,12 +36,19 @@ func main() {
 		p      = flag.Float64("p", 0.2, "edge probability for gnp/planted")
 		algo   = flag.String("algo", "2spanner", "algorithm: 2spanner, congest, directed, cs, mds, kp, greedy, bs, eps, trivial")
 		seed   = flag.Int64("seed", 1, "random seed")
+		engine = flag.String("engine", "auto", "dist engine: auto, barrier, event (results are identical; wall clock differs)")
 		k      = flag.Int("k", 2, "stretch (bs: builds (2k-1)-spanner; eps: k-spanner)")
 		eps    = flag.Float64("eps", 0.5, "epsilon for -algo eps")
 		wmax   = flag.Float64("wmax", 0, "assign random weights in [1, wmax] when > 1")
 		dot    = flag.String("dot", "", "write the graph (with the solution highlighted) as DOT to this file")
 	)
 	flag.Parse()
+
+	mode, err := dist.ParseMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	g := buildGraph(*family, *n, *p, *seed)
 	if *wmax > 1 {
@@ -51,12 +59,12 @@ func main() {
 
 	switch *algo {
 	case "2spanner":
-		res, err := core.TwoSpanner(g, core.Options{Seed: *seed})
+		res, err := core.TwoSpanner(g, core.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		printSpanner(g, res, 2)
 		writeDOT(*dot, g, res.Spanner)
 	case "congest":
-		res, err := core.TwoSpannerCongest(g, core.Options{Seed: *seed})
+		res, err := core.TwoSpannerCongest(g, core.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		fmt.Printf("CONGEST 2-spanner: %d of %d edges, valid=%v, subrounds/logical=%d, budget=%d bits\n",
 			res.Spanner.Len(), g.M(), span.IsKSpanner(g, res.Spanner, 2),
@@ -65,21 +73,21 @@ func main() {
 		writeDOT(*dot, g, res.Spanner)
 	case "directed":
 		d := gen.OrientRandomly(g, 0.3, *seed)
-		res, err := core.DirectedTwoSpanner(d, core.Options{Seed: *seed})
+		res, err := core.DirectedTwoSpanner(d, core.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		fmt.Printf("directed 2-spanner: %d of %d edges, valid=%v\n",
 			res.Spanner.Len(), d.M(), span.IsDirectedKSpanner(d, res.Spanner, 2))
 		printStats(res)
 	case "cs":
 		clients, servers := gen.ClientServerSplit(g, 0.5, 0.8, *seed)
-		res, err := core.ClientServerTwoSpanner(g, clients, servers, core.Options{Seed: *seed})
+		res, err := core.ClientServerTwoSpanner(g, clients, servers, core.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		fmt.Printf("client-server 2-spanner: %d edges for %d clients, valid=%v\n",
 			res.Spanner.Len(), clients.Len(),
 			span.ClientServerValid(g, clients, servers, res.Spanner, 2))
 		printStats(res)
 	case "mds":
-		res, err := mds.Run(g, mds.Options{Seed: *seed})
+		res, err := mds.Run(g, mds.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		fmt.Printf("dominating set: %d vertices, rounds=%d iterations=%d maxEdgeRoundBits=%d\n",
 			len(res.DominatingSet), res.Stats.Rounds, res.Iterations, res.Stats.MaxEdgeRoundBits)
@@ -125,7 +133,7 @@ func main() {
 				}
 			}
 		}
-		res, err := core.TwoSpannerAugment(g, initial, core.Options{Seed: *seed})
+		res, err := core.TwoSpannerAugment(g, initial, core.Options{Seed: *seed, ExecMode: mode})
 		fail(err)
 		fmt.Printf("augmentation: %d free backbone edges + %.0f additions => valid=%v\n",
 			initial.Len(), res.Cost, span.IsKSpanner(g, res.Spanner, 2))

@@ -57,6 +57,46 @@ func TestBuildMDSReproducible(t *testing.T) {
 	}
 }
 
+// TestCrossModeTranscriptsIdentical is the engine's scheduler-equivalence
+// contract at the algorithm level: for a fixed (graph, seed), the barrier
+// engine and the event-driven scheduler must produce bit-identical
+// transcripts — the same spanner edge set, the same dominating set, and
+// the same engine statistics (rounds, messages, bits), field for field.
+func TestCrossModeTranscriptsIdentical(t *testing.T) {
+	g := distspanner.RandomGraph(60, 0.15, 41)
+	base, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: distspanner.ModeBarrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: distspanner.ModeEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Spanner.Equal(ev.Spanner) {
+		t.Fatal("2-spanner edge sets differ between barrier and event modes")
+	}
+	if base.Stats != ev.Stats {
+		t.Fatalf("2-spanner stats differ between modes:\nbarrier: %+v\nevent:   %+v", base.Stats, ev.Stats)
+	}
+	if base.Iterations != ev.Iterations || base.Cost != ev.Cost {
+		t.Fatal("2-spanner telemetry differs between modes")
+	}
+
+	mg := distspanner.RandomGraph(48, 0.18, 13)
+	mb, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: distspanner.ModeBarrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: distspanner.ModeEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mb.DominatingSet, me.DominatingSet) || mb.Stats != me.Stats {
+		t.Fatalf("MDS transcripts differ between modes:\nbarrier: %v %+v\nevent:   %v %+v",
+			mb.DominatingSet, mb.Stats, me.DominatingSet, me.Stats)
+	}
+}
+
 func TestCongestRunReproducible(t *testing.T) {
 	g := distspanner.RandomGraph(14, 0.4, 31)
 	a, err := distspanner.Build2SpannerCongest(g, distspanner.Options{Seed: 3})

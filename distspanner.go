@@ -14,9 +14,12 @@
 // decomposition (Theorem 1.2).
 //
 // Algorithms execute on a synchronous message-passing simulator: every
-// vertex runs as a goroutine, rounds are channel barriers, message sizes
-// are metered in bits so LOCAL versus CONGEST behaviour is measurable, and
-// runs are deterministic for a fixed seed.
+// vertex runs as a goroutine, message sizes are metered in bits so LOCAL
+// versus CONGEST behaviour is measurable, and runs are deterministic for
+// a fixed seed. The engine offers two scheduling strategies
+// (Options.ExecMode): the classic barrier engine and an event-driven
+// scheduler that wakes only active vertices each round — bit-identical
+// results, very different wall clock on sparse-activity workloads.
 //
 // Quick start:
 //
@@ -29,6 +32,7 @@ package distspanner
 import (
 	"distspanner/internal/baseline"
 	"distspanner/internal/core"
+	"distspanner/internal/dist"
 	"distspanner/internal/gen"
 	"distspanner/internal/graph"
 	"distspanner/internal/localmodel"
@@ -60,6 +64,24 @@ func NewEdgeSet(m int) *EdgeSet { return graph.NewEdgeSet(m) }
 
 // Options configures the distributed spanner algorithms.
 type Options = core.Options
+
+// ExecMode selects the simulation engine's scheduling strategy for
+// Options.ExecMode / MDSOptions.ExecMode. Every mode produces
+// bit-identical results and statistics for a fixed seed; they differ only
+// in wall-clock cost (see internal/dist and ARCHITECTURE.md).
+type ExecMode = dist.Mode
+
+// Execution modes, re-exported for Options.ExecMode.
+const (
+	// ModeAuto switches on network size: the event-driven scheduler at or
+	// above dist.EventThreshold vertices, the barrier engine below it.
+	ModeAuto = dist.ModeAuto
+	// ModeBarrier runs vertices freely between central round barriers.
+	ModeBarrier = dist.ModeBarrier
+	// ModeEvent schedules only active vertices each round — quiet
+	// vertices cost zero wakeups.
+	ModeEvent = dist.ModeEvent
+)
 
 // Result reports a distributed spanner construction: the spanner, its
 // cost, the engine's round/message/bit statistics, and the iteration

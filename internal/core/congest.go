@@ -321,6 +321,7 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 	stats, err := dist.Run(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
+		Mode:      opts.ExecMode,
 		Bandwidth: bandwidth,
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,

@@ -76,7 +76,7 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 		nd.tele = tele
 		nd.run()
 	}
-	stats, err := dist.Run(dist.Config{Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds}, proc)
+	stats, err := dist.Run(dist.Config{Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds, Mode: opts.ExecMode}, proc)
 	if err != nil {
 		return nil, err
 	}

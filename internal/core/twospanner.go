@@ -18,6 +18,10 @@ type Options struct {
 	Seed int64
 	// MaxRounds aborts runaway executions; zero uses the engine default.
 	MaxRounds int
+	// ExecMode selects the engine's scheduling strategy (barrier vs
+	// event-driven); the zero value auto-switches on network size.
+	// Results are identical in every mode — only wall-clock cost differs.
+	ExecMode dist.Mode
 
 	// VoteDenominator is an ablation knob for the acceptance rule: a
 	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
@@ -195,7 +199,7 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 		nd.tele = tele
 		nd.run()
 	}
-	stats, err := dist.Run(dist.Config{Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds}, proc)
+	stats, err := dist.Run(dist.Config{Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds, Mode: opts.ExecMode}, proc)
 	if err != nil {
 		return nil, err
 	}

@@ -7,13 +7,29 @@ import (
 	"distspanner/internal/graph"
 )
 
-// The execution-mode baseline for future perf work: rounds/sec of a plain
-// gossip protocol under goroutine-per-vertex execution (Workers < 0)
-// versus the gated worker pool (Workers > 0), across network sizes.
-// Larger n amortizes scheduler pressure differently in the two modes;
-// this benchmark is what a perf PR should move.
+// The execution-mode yardsticks for perf work, comparing the barrier
+// engine against the event-driven scheduler across network sizes and
+// activity fractions:
+//
+//   - BenchmarkGoroutinePerVertex / BenchmarkWorkerPool / BenchmarkEventBusy:
+//     fully-busy gossip (every vertex broadcasts every round) — the
+//     worst case for the event scheduler, whose hand-off then touches
+//     every vertex anyway.
+//   - BenchmarkQuietRounds: one driver vertex, everyone else parked in
+//     Recv — the regime the spanner algorithms' tails live in, and the
+//     workload the event scheduler exists for.
+//   - BenchmarkSparseActivity: a tunable fraction of active vertices,
+//     mapping the crossover between those extremes.
+//
+// All variants assert the protocol ran the expected number of rounds, so
+// a scheduling bug cannot masquerade as a speedup.
 
 const benchRounds = 16
+
+// quietBenchRounds is deliberately larger: the quiet-round benchmarks
+// measure the steady-state cost of a round, so the per-run fixed cost of
+// spawning n vertex goroutines has to be amortized away.
+const quietBenchRounds = 256
 
 // benchGraph is a ring with chords: degree 4, deterministic, cheap to
 // build at any size.
@@ -37,11 +53,11 @@ func benchProc(ctx *Ctx) {
 	}
 }
 
-func runEngineBenchmark(b *testing.B, n, workers int) {
+func runEngineBenchmark(b *testing.B, n, workers int, mode Mode) {
 	g := benchGraph(n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stats, err := Run(Config{Graph: g, Seed: 1, Workers: workers}, benchProc)
+		stats, err := Run(Config{Graph: g, Seed: 1, Workers: workers, Mode: mode}, benchProc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,17 +70,24 @@ func runEngineBenchmark(b *testing.B, n, workers int) {
 	b.ReportMetric(roundsPerSec, "rounds/sec")
 }
 
-// quietProc has only vertex 0 send each round; everyone else just spins
-// the barrier. This isolates the per-round delivery cost on quiet rounds,
-// which dominates the tail of the spanner algorithms (most vertices have
-// terminated). With dirty-sender tracking, routing is O(1) per quiet
-// round instead of an O(n) context scan.
+// quietProc is the sparse-activity extreme: vertex 0 drives the run,
+// pinging one neighbor every round; every other vertex parks in Recv and
+// is released by quiescence. Under the event scheduler a quiet round
+// wakes two vertices instead of n.
 func quietProc(ctx *Ctx) {
-	for r := 0; r < benchRounds; r++ {
-		if ctx.ID() == 0 {
+	if ctx.ID() == 0 {
+		for r := 0; r < quietBenchRounds; r++ {
 			ctx.Send(ctx.Neighbors()[0], blob{val: r, size: 32})
+			ctx.NextRound()
 		}
-		for _, m := range ctx.NextRound() {
+		return
+	}
+	for {
+		msgs, ok := ctx.Recv()
+		if !ok {
+			return
+		}
+		for _, m := range msgs {
 			_ = m.Payload.(blob).val
 		}
 	}
@@ -72,29 +95,84 @@ func quietProc(ctx *Ctx) {
 
 func BenchmarkQuietRounds(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			g := benchGraph(n)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				stats, err := Run(Config{Graph: g, Seed: 1, Workers: -1}, quietProc)
-				if err != nil {
-					b.Fatal(err)
+		for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				g := benchGraph(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stats, err := Run(Config{Graph: g, Seed: 1, Mode: mode}, quietProc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.Rounds != quietBenchRounds {
+						b.Fatalf("rounds = %d", stats.Rounds)
+					}
 				}
-				if stats.Rounds != benchRounds {
-					b.Fatalf("rounds = %d", stats.Rounds)
+				b.StopTimer()
+				roundsPerSec := float64(quietBenchRounds) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(roundsPerSec, "rounds/sec")
+			})
+		}
+	}
+}
+
+// sparseProc activates the first activeCount vertices (send + NextRound
+// every round); the rest park in Recv. Actives near the boundary wake a
+// couple of parked vertices per round, as real protocol frontiers do.
+func sparseProc(activeCount int) func(*Ctx) {
+	return func(ctx *Ctx) {
+		if ctx.ID() < activeCount {
+			for r := 0; r < quietBenchRounds; r++ {
+				ctx.Send(ctx.Neighbors()[0], blob{val: r, size: 32})
+				for _, m := range ctx.NextRound() {
+					_ = m.Payload.(blob).val
 				}
 			}
-			b.StopTimer()
-			roundsPerSec := float64(benchRounds) * float64(b.N) / b.Elapsed().Seconds()
-			b.ReportMetric(roundsPerSec, "rounds/sec")
-		})
+			return
+		}
+		for {
+			msgs, ok := ctx.Recv()
+			if !ok {
+				return
+			}
+			for _, m := range msgs {
+				_ = m.Payload.(blob).val
+			}
+		}
+	}
+}
+
+func BenchmarkSparseActivity(b *testing.B) {
+	for _, n := range []int{2048, 16384} {
+		for _, pct := range []int{1, 10, 50} {
+			active := n * pct / 100
+			for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+				b.Run(fmt.Sprintf("n=%d/active=%d%%/mode=%s", n, pct, mode), func(b *testing.B) {
+					g := benchGraph(n)
+					proc := sparseProc(active)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						stats, err := Run(Config{Graph: g, Seed: 1, Mode: mode}, proc)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if stats.Rounds != quietBenchRounds {
+							b.Fatalf("rounds = %d", stats.Rounds)
+						}
+					}
+					b.StopTimer()
+					roundsPerSec := float64(quietBenchRounds) * float64(b.N) / b.Elapsed().Seconds()
+					b.ReportMetric(roundsPerSec, "rounds/sec")
+				})
+			}
+		}
 	}
 }
 
 func BenchmarkGoroutinePerVertex(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			runEngineBenchmark(b, n, -1)
+			runEngineBenchmark(b, n, -1, ModeBarrier)
 		})
 	}
 }
@@ -102,7 +180,15 @@ func BenchmarkGoroutinePerVertex(b *testing.B) {
 func BenchmarkWorkerPool(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			runEngineBenchmark(b, n, 0) // auto: pool above PoolThreshold
+			runEngineBenchmark(b, n, 0, ModeBarrier) // auto: pool above PoolThreshold
+		})
+	}
+}
+
+func BenchmarkEventBusy(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runEngineBenchmark(b, n, 0, ModeEvent)
 		})
 	}
 }

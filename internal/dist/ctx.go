@@ -12,25 +12,30 @@ import (
 type Ctx struct {
 	eng  *engine
 	id   int
-	nbrs []int // sorted neighbor ids
-	rng  *rand.Rand
+	nbrs []int      // sorted neighbor ids
+	rng  *rand.Rand // lazily built on first Rand call
+	seed int64      // run seed, for the lazy RNG derivation
 
-	inbox    []Message // delivered by the engine at each barrier
-	outbox   []outMsg  // queued sends of the current round
-	edgeBits []int     // routing scratch, parallel to nbrs
-	touched  []int     // edgeBits indices written this round (routing scratch)
-	done     bool      // proc returned
-	holding  bool      // occupies a worker-pool slot
+	inbox    []Message     // delivered by the engine at each round boundary
+	outbox   []outMsg      // queued sends of the current round
+	edgeBits []int         // routing scratch, parallel to nbrs
+	touched  []int         // edgeBits indices written this round (routing scratch)
+	done     bool          // proc returned
+	parked   bool          // blocked in Recv awaiting a delivery
+	holding  bool          // occupies a worker-pool slot
+	wake     chan wakeKind // event mode: scheduler -> vertex hand-off
 }
 
 func newCtx(e *engine, id int, seed int64) *Ctx {
-	nbrs := e.g.Neighbors(id) // freshly allocated and sorted
+	// The RNG state (~5KB, seeded with hundreds of multiplications) and
+	// the metering scratch are built lazily on first use: a vertex that
+	// never draws randomness or sends costs O(degree) to set up, which is
+	// what keeps Run's fixed cost low on huge, mostly-quiet networks.
 	return &Ctx{
-		eng:      e,
-		id:       id,
-		nbrs:     nbrs,
-		rng:      rand.New(rand.NewSource(vertexSeed(seed, id))),
-		edgeBits: make([]int, len(nbrs)),
+		eng:  e,
+		id:   id,
+		nbrs: e.g.Neighbors(id), // freshly allocated and sorted
+		seed: seed,
 	}
 }
 
@@ -61,7 +66,12 @@ func (c *Ctx) Degree() int { return len(c.nbrs) }
 // Rand returns this vertex's private RNG. Its stream is a deterministic
 // function of (Config.Seed, vertex id), which is what makes whole runs
 // reproducible.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
+func (c *Ctx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(vertexSeed(c.seed, c.id)))
+	}
+	return c.rng
+}
 
 // Send queues p for delivery to the neighbor to at the next round
 // boundary. Sends are committed by the sender's next NextRound call;
@@ -70,22 +80,62 @@ func (c *Ctx) Rand() *rand.Rand { return c.rng }
 // the model only has channels along graph edges.
 func (c *Ctx) Send(to int, p Payload) {
 	c.nbrIndex(to) // validates
+	c.ensureScratch()
 	c.outbox = append(c.outbox, outMsg{to: to, p: p})
 }
 
 // Broadcast queues p for every neighbor.
 func (c *Ctx) Broadcast(p Payload) {
+	if len(c.nbrs) == 0 {
+		return
+	}
+	c.ensureScratch()
 	for _, u := range c.nbrs {
 		c.outbox = append(c.outbox, outMsg{to: u, p: p})
 	}
 }
 
+// ensureScratch lazily builds the per-edge metering scratch the first
+// time this vertex sends anything.
+func (c *Ctx) ensureScratch() {
+	if c.edgeBits == nil {
+		c.edgeBits = make([]int, len(c.nbrs))
+	}
+}
+
 // NextRound ends this vertex's current round: all queued sends are
-// committed, the vertex blocks until every other active vertex has done
-// the same, and the messages addressed to it in the completed round are
-// returned, sorted by sender id (ties in send order).
+// committed, the vertex blocks until the round completes, and the
+// messages addressed to it in the completed round are returned, sorted by
+// sender id (ties in send order). Calling NextRound is an explicit
+// self-wakeup: the vertex is active in the next round whether or not
+// anyone wrote to it. After the network has quiesced (see Recv), rounds
+// no longer advance and NextRound returns nil immediately.
 func (c *Ctx) NextRound() []Message {
+	if c.eng.mode == ModeEvent {
+		return c.eng.eventYield(c)
+	}
 	return c.eng.barrier(c)
+}
+
+// Recv commits all queued sends like NextRound, then parks the vertex: it
+// sleeps through every round in which it receives nothing and wakes in
+// the first round that delivers at least one message, returning that
+// round's inbox (sorted by sender id) and ok=true. A parked vertex costs
+// the event-driven scheduler zero wakeups per quiet round, which is what
+// makes sparse-activity protocols cheap — prefer Recv over a NextRound
+// loop whenever a vertex is idle until contacted.
+//
+// If the whole network goes permanently silent — every live vertex parked
+// in Recv and no messages in flight — no future round could wake anyone:
+// the run has quiesced. Recv then returns (nil, false), and the procedure
+// should finalize and return. Quiescence is deterministic (it happens at
+// the same round in every mode) and is the idiomatic way to terminate
+// protocols whose vertices do not know their own last round.
+func (c *Ctx) Recv() ([]Message, bool) {
+	if c.eng.mode == ModeEvent {
+		return c.eng.eventPark(c)
+	}
+	return c.eng.park(c)
 }
 
 // nbrIndex returns to's position in the sorted neighbor list, panicking

@@ -4,19 +4,20 @@
 // rounds, in each round every vertex sends payloads to neighbors, and all
 // payloads sent in round r are delivered at the start of round r+1.
 //
-// Every vertex executes the same procedure as a goroutine; rounds are
-// channel/condition barriers. The engine meters every payload's Bits()
-// size, so the same protocol can be classified as LOCAL (unbounded
-// messages) or CONGEST (O(log n) bits per edge per round) from its
-// measured Stats — and with Config.Enforce set, exceeding the bandwidth
-// budget is a runtime error, making CONGEST legality a checked property
-// rather than an assumption.
+// Every vertex executes the same procedure as a goroutine. The engine
+// meters every payload's Bits() size, so the same protocol can be
+// classified as LOCAL (unbounded messages) or CONGEST (O(log n) bits per
+// edge per round) from its measured Stats — and with Config.Enforce set,
+// exceeding the bandwidth budget is a runtime error, making CONGEST
+// legality a checked property rather than an assumption.
 //
 // # Accounting model
 //
-//   - A "round" is one barrier: all still-running vertices call
-//     Ctx.NextRound once. Stats.Rounds is the maximum number of NextRound
-//     calls made by any vertex.
+//   - A "round" is one synchronous boundary: it completes when every
+//     live vertex has either committed its step (Ctx.NextRound), parked
+//     (Ctx.Recv), or retired. Stats.Rounds counts completed rounds; for
+//     protocols that only use NextRound this equals the maximum number of
+//     NextRound calls made by any vertex.
 //   - Each payload is metered at its Bits() size. Stats.TotalBits and
 //     Stats.Messages aggregate over the whole run; Stats.MaxMessageBits is
 //     the largest single payload.
@@ -35,11 +36,34 @@
 //
 // # Execution modes
 //
-// Below Config.Workers' threshold every vertex goroutine runs freely
-// between barriers (goroutine-per-vertex). At large n the engine gates
-// step execution through a bounded worker pool and shards the per-round
-// metering across CPUs; both modes produce identical results, and
-// bench_test.go measures the crossover.
+// The engine has two scheduling strategies selected by Config.Mode, both
+// executing identical round semantics (results and Stats are bit-identical
+// for a fixed Graph and Seed — the root determinism tests assert this):
+//
+//   - ModeBarrier: vertex goroutines run freely between central barriers;
+//     completing a round wakes every still-running vertex. Below
+//     Config.Workers' threshold every goroutine runs unrestricted; at
+//     large n step execution is gated through a bounded worker pool and
+//     the per-round metering is sharded across CPUs.
+//   - ModeEvent: vertices are parked goroutines resumed by explicit
+//     hand-off, and a round schedules only the active vertices — those
+//     with a freshly delivered inbox or an explicit self-wakeup
+//     (NextRound). Vertices parked in Ctx.Recv cost zero wakeups, so
+//     round cost is O(#active + #senders) instead of O(n) — the regime
+//     the paper's algorithms live in, where most vertices are idle in
+//     most rounds.
+//
+// ModeAuto (the default) switches on network size; bench_test.go measures
+// both engines head-to-head across sizes and activity fractions.
+//
+// # Quiescence
+//
+// A vertex that has nothing to do until it hears from a neighbor parks in
+// Ctx.Recv instead of spinning NextRound. If every live vertex is parked
+// and no messages are in flight, no round could ever change anything: the
+// run has quiesced. The engine then releases every parked vertex with
+// ok=false from Recv, letting procedures finalize and return. Quiescence
+// is itself deterministic — it happens at the same round in both modes.
 package dist
 
 import (
@@ -73,6 +97,10 @@ type Config struct {
 	// Seed drives all per-vertex randomness. Runs are deterministic
 	// functions of (Graph, Seed).
 	Seed int64
+	// Mode selects the scheduling strategy (barrier vs event-driven);
+	// the zero value ModeAuto switches on network size. Results are
+	// identical in every mode; only wall-clock cost differs.
+	Mode Mode
 	// Bandwidth is the per-directed-edge per-round bit budget. Zero means
 	// unlimited (pure LOCAL); a positive value defines what counts as a
 	// bandwidth violation.
@@ -123,6 +151,7 @@ type outMsg struct {
 type engine struct {
 	g         *graph.Graph
 	n         int
+	mode      Mode
 	bandwidth int
 	enforce   bool
 	maxRounds int
@@ -130,13 +159,18 @@ type engine struct {
 	sem       chan struct{} // nil: unlimited concurrency
 	routePar  int           // goroutines for sharded metering
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	gen     uint64 // round generation, bumped at each barrier release
-	arrived int    // vertices blocked at the current barrier
-	active  int    // vertices still running
-	abort   error
-	dirty   []*Ctx // vertices that arrived at the current barrier with sends queued
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64 // round generation, bumped at each barrier release
+	arrived  int    // running vertices blocked at the current barrier
+	running  int    // vertices neither done nor parked in Recv
+	parked   int    // vertices parked in Recv awaiting delivery
+	quiesced bool   // the network went permanently silent
+	abort    error
+	dirty    []*Ctx // vertices that blocked this round with sends queued
+	woken    []*Ctx // parked vertices receiving messages this round
+
+	reports chan vreport // event mode: vertex -> scheduler hand-off
 
 	ctxs  []*Ctx
 	stats Stats
@@ -156,18 +190,22 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 	if cfg.CutSide != nil && len(cfg.CutSide) != n {
 		return nil, fmt.Errorf("dist: CutSide has %d entries for %d vertices", len(cfg.CutSide), n)
 	}
+	if cfg.Mode < ModeAuto || cfg.Mode > ModeEvent {
+		return nil, fmt.Errorf("dist: invalid Config.Mode %d", int(cfg.Mode))
+	}
 	if n == 0 {
 		return &Stats{}, nil
 	}
 	e := &engine{
 		g:         cfg.Graph,
 		n:         n,
+		mode:      cfg.Mode.resolve(n),
 		bandwidth: cfg.Bandwidth,
 		enforce:   cfg.Enforce,
 		maxRounds: cfg.MaxRounds,
 		cut:       cfg.CutSide,
 		routePar:  runtime.GOMAXPROCS(0),
-		active:    n,
+		running:   n,
 	}
 	if e.maxRounds <= 0 {
 		e.maxRounds = DefaultMaxRounds
@@ -184,11 +222,15 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 	for v := 0; v < n; v++ {
 		e.ctxs[v] = newCtx(e, v, cfg.Seed)
 	}
-	e.wg.Add(n)
-	for v := 0; v < n; v++ {
-		go e.runVertex(e.ctxs[v], proc)
+	if e.mode == ModeEvent {
+		e.runEvent(proc)
+	} else {
+		e.wg.Add(n)
+		for v := 0; v < n; v++ {
+			go e.runVertex(e.ctxs[v], proc)
+		}
+		e.wg.Wait()
 	}
-	e.wg.Wait()
 	if e.abort != nil {
 		return nil, e.abort
 	}
@@ -196,8 +238,9 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 	return &s, nil
 }
 
-// runVertex is the per-vertex goroutine wrapper: it gates entry through
-// the worker pool, runs proc, and unwinds cleanly on engine aborts.
+// runVertex is the per-vertex goroutine wrapper of barrier mode: it gates
+// entry through the worker pool, runs proc, and unwinds cleanly on engine
+// aborts.
 func (e *engine) runVertex(c *Ctx, proc func(*Ctx)) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -207,7 +250,7 @@ func (e *engine) runVertex(c *Ctx, proc func(*Ctx)) {
 				// it into a Run error and unwind every other vertex.
 				e.mu.Lock()
 				if e.abort == nil {
-					e.abort = fmt.Errorf("dist: vertex %d panicked: %v\n%s", c.id, r, debug.Stack())
+					e.abort = vertexPanicError(c.id, r)
 				}
 				e.cond.Broadcast()
 				e.mu.Unlock()
@@ -219,33 +262,51 @@ func (e *engine) runVertex(c *Ctx, proc func(*Ctx)) {
 	proc(c)
 }
 
+// vertexPanicError converts a recovered vertex panic into the Run error,
+// identically in both modes.
+func vertexPanicError(id int, r any) error {
+	return fmt.Errorf("dist: vertex %d panicked: %v\n%s", id, r, debug.Stack())
+}
+
+// roundLimitError builds the ErrRoundLimit abort, identically in both
+// modes.
+func (e *engine) roundLimitError() error {
+	return fmt.Errorf("%w: %d rounds executed (MaxRounds %d)", ErrRoundLimit, e.stats.Rounds, e.maxRounds)
+}
+
 // finish retires a vertex whose proc returned (or was unwound). If every
-// other active vertex is already waiting at the barrier, the retirement is
-// what completes the round.
+// other running vertex is already blocked, the retirement is what
+// completes the round (or quiesces the run).
 func (e *engine) finish(c *Ctx) {
 	c.release()
 	e.mu.Lock()
-	// Sends are committed by NextRound; sends queued after a vertex's last
-	// barrier are discarded, never half-delivered depending on peers.
+	// Sends are committed by NextRound/Recv; sends queued after a vertex's
+	// last block are discarded, never half-delivered depending on peers.
 	c.outbox = nil
 	c.done = true
-	e.active--
-	if e.active > 0 && e.arrived == e.active {
-		e.completeRoundLocked()
-	}
+	e.running--
+	e.maybeAdvanceLocked()
 	e.mu.Unlock()
 	e.wg.Done()
 }
 
-// barrier is the body of Ctx.NextRound: park until every active vertex has
-// arrived or finished, have the last one meter and deliver the round, and
-// return this vertex's inbox.
+// barrier is the body of Ctx.NextRound in barrier mode: park until every
+// running vertex has blocked or finished, have the last one meter and
+// deliver the round, and return this vertex's inbox.
 func (e *engine) barrier(c *Ctx) []Message {
 	c.release()
 	e.mu.Lock()
 	if e.abort != nil {
 		e.mu.Unlock()
 		panic(abortSignal{})
+	}
+	if e.quiesced {
+		// The network is permanently silent (see package docs): rounds no
+		// longer advance, sends go nowhere, inboxes stay empty.
+		c.outbox = c.outbox[:0]
+		e.mu.Unlock()
+		c.acquire()
+		return nil
 	}
 	e.arrived++
 	if len(c.outbox) > 0 {
@@ -256,13 +317,10 @@ func (e *engine) barrier(c *Ctx) []Message {
 		// routing work instead of O(n).
 		e.dirty = append(e.dirty, c)
 	}
-	if e.arrived == e.active {
-		e.completeRoundLocked()
-	} else {
-		gen := e.gen
-		for e.gen == gen && e.abort == nil {
-			e.cond.Wait()
-		}
+	gen := e.gen
+	e.maybeAdvanceLocked()
+	for e.gen == gen && e.abort == nil {
+		e.cond.Wait()
 	}
 	if e.abort != nil {
 		e.mu.Unlock()
@@ -275,16 +333,98 @@ func (e *engine) barrier(c *Ctx) []Message {
 	return inbox
 }
 
+// park is the body of Ctx.Recv in barrier mode: commit queued sends, leave
+// the running set, and sleep until a round delivers messages to this
+// vertex — or until the network quiesces, in which case it reports
+// ok=false.
+func (e *engine) park(c *Ctx) ([]Message, bool) {
+	c.release()
+	e.mu.Lock()
+	if e.abort != nil {
+		e.mu.Unlock()
+		panic(abortSignal{})
+	}
+	if e.quiesced {
+		c.outbox = c.outbox[:0]
+		e.mu.Unlock()
+		c.acquire()
+		return nil, false
+	}
+	if len(c.outbox) > 0 {
+		e.dirty = append(e.dirty, c)
+	}
+	c.parked = true
+	e.running--
+	e.parked++
+	e.maybeAdvanceLocked()
+	for c.parked && e.abort == nil && !e.quiesced {
+		e.cond.Wait()
+	}
+	if e.abort != nil {
+		e.mu.Unlock()
+		panic(abortSignal{})
+	}
+	if c.parked {
+		// Quiesced while parked: nobody will ever write this inbox again.
+		c.parked = false
+		e.parked--
+		e.running++
+		e.mu.Unlock()
+		c.acquire()
+		return nil, false
+	}
+	// A delivery unparked this vertex; the round completer already moved it
+	// back into the running count before releasing the barrier.
+	inbox := c.inbox
+	c.inbox = nil
+	e.mu.Unlock()
+	c.acquire()
+	return inbox, true
+}
+
+// maybeAdvanceLocked is barrier mode's round-advance rule, applied after
+// every transition that blocks or retires a vertex: complete the round
+// when every running vertex has arrived; when nobody is left running,
+// flush any committed sends (which may wake parked receivers) and then
+// quiesce if vertices remain parked with no traffic to wake them.
+func (e *engine) maybeAdvanceLocked() {
+	if e.abort != nil || e.quiesced {
+		return
+	}
+	if e.running > 0 {
+		if e.arrived == e.running {
+			e.completeRoundLocked()
+		}
+		return
+	}
+	if len(e.dirty) > 0 {
+		e.completeRoundLocked()
+	}
+	if e.running == 0 && e.parked > 0 && e.abort == nil {
+		e.quiesced = true
+		e.cond.Broadcast()
+	}
+}
+
 // completeRoundLocked meters and delivers every queued message, advances
-// the round, and releases the barrier. Called with e.mu held by the last
-// vertex to arrive (or retire).
+// the round, moves parked vertices that received messages back into the
+// running set, and releases the barrier. Called with e.mu held by the last
+// vertex to block (or retire).
 func (e *engine) completeRoundLocked() {
 	if e.abort == nil {
 		e.stats.Rounds++
 		if e.stats.Rounds > e.maxRounds {
-			e.abort = fmt.Errorf("%w: %d rounds executed (MaxRounds %d)", ErrRoundLimit, e.stats.Rounds, e.maxRounds)
+			e.abort = e.roundLimitError()
 		} else {
 			e.routeLocked()
+			// Receivers unparked by routing rejoin the running set before
+			// the barrier releases, so the next round cannot complete
+			// without them.
+			for range e.woken {
+				e.parked--
+				e.running++
+			}
+			e.woken = e.woken[:0]
 		}
 	}
 	e.arrived = 0
@@ -304,13 +444,17 @@ type meterResult struct {
 
 // routeLocked aggregates statistics and delivers all outboxes. The dirty
 // list holds exactly the vertices that queued sends this round (registered
-// as they hit the barrier), in arrival order; it is re-sorted by vertex id
-// so inboxes arrive sorted by sender and every statistic is deterministic
+// as they blocked), in arrival order; it is re-sorted by vertex id so
+// inboxes arrive sorted by sender and every statistic is deterministic
 // regardless of goroutine scheduling. Senders are metered independently
-// (in parallel for large rounds).
+// (in parallel for large rounds). Parked receivers of a delivery are
+// flipped awake and collected in e.woken for the caller's mode-specific
+// bookkeeping. In barrier mode the caller holds e.mu; in event mode the
+// scheduler calls it while every vertex is blocked, which serializes it
+// just as well.
 func (e *engine) routeLocked() {
-	// All vertices are parked at the barrier while routing runs, so
-	// truncating in place cannot race with new arrivals registering.
+	// All vertices are blocked while routing runs, so truncating in place
+	// cannot race with new arrivals registering.
 	senders := e.dirty
 	e.dirty = e.dirty[:0]
 	if len(senders) == 0 {
@@ -360,8 +504,13 @@ func (e *engine) routeLocked() {
 		}
 		for _, m := range c.outbox {
 			to := e.ctxs[m.to]
-			if !to.done {
-				to.inbox = append(to.inbox, Message{From: c.id, Payload: m.p})
+			if to.done {
+				continue
+			}
+			to.inbox = append(to.inbox, Message{From: c.id, Payload: m.p})
+			if to.parked {
+				to.parked = false
+				e.woken = append(e.woken, to)
 			}
 		}
 		c.outbox = c.outbox[:0]

@@ -1,0 +1,234 @@
+package dist
+
+// The event-driven scheduler (ModeEvent). Vertices are parked goroutines
+// resumed by explicit hand-off: each vertex owns a wake channel, and a
+// single scheduler goroutine owns the round loop. A vertex runs until it
+// blocks — yielding (NextRound: "wake me next round"), parking (Recv:
+// "wake me when a message arrives"), or retiring — and reports the
+// transition to the scheduler. When every woken vertex has reported, the
+// scheduler completes the round with the same metering/delivery code as
+// barrier mode and wakes exactly the next round's active set: the
+// yielders plus the parked vertices that just received messages. A quiet
+// vertex is never touched, so a round costs O(#active + #senders) instead
+// of the barrier engine's O(n) broadcast.
+//
+// The hand-off discipline is also the synchronization story: whenever the
+// scheduler mutates shared state (routing, the quiesced flag), every
+// live vertex is blocked on its wake channel, and the report/wake channel
+// pair carries the happens-before edges — no locks on the round path.
+
+// wakeKind tells a blocked vertex why it was woken.
+type wakeKind uint8
+
+const (
+	// wakeStep resumes the vertex for the new round; its inbox holds the
+	// round's deliveries.
+	wakeStep wakeKind = iota
+	// wakeQuiesce releases a parked vertex because the network went
+	// permanently silent; Recv reports ok=false.
+	wakeQuiesce
+	// wakeAbort unwinds the vertex's procedure: the run is over with an
+	// error.
+	wakeAbort
+)
+
+// reportKind is a vertex's blocked-state report to the scheduler.
+type reportKind uint8
+
+const (
+	// reportYield: the vertex called NextRound — an explicit self-wakeup;
+	// it is active next round no matter what.
+	reportYield reportKind = iota
+	// reportPark: the vertex called Recv; wake it only on delivery (or
+	// quiescence).
+	reportPark
+	// reportDone: the vertex's procedure returned (normally or unwound).
+	reportDone
+)
+
+// vreport is one vertex->scheduler hand-off message.
+type vreport struct {
+	c    *Ctx
+	kind reportKind
+}
+
+// runEvent executes the whole run under the event-driven scheduler and
+// leaves the outcome in e.stats / e.abort, exactly like the barrier path.
+func (e *engine) runEvent(proc func(*Ctx)) {
+	e.reports = make(chan vreport, 64)
+	for _, c := range e.ctxs {
+		c.wake = make(chan wakeKind, 1)
+	}
+	e.wg.Add(e.n)
+	for _, c := range e.ctxs {
+		go e.runVertexEvent(c, proc)
+	}
+	e.schedule()
+	e.wg.Wait()
+}
+
+// runVertexEvent is the per-vertex goroutine wrapper of event mode: run
+// proc, convert protocol panics into the Run error, and always hand the
+// final done report to the scheduler.
+func (e *engine) runVertexEvent(c *Ctx, proc func(*Ctx)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				e.mu.Lock()
+				if e.abort == nil {
+					e.abort = vertexPanicError(c.id, r)
+				}
+				e.mu.Unlock()
+			}
+		}
+		c.release()
+		e.reports <- vreport{c: c, kind: reportDone}
+		e.wg.Done()
+	}()
+	c.acquire()
+	proc(c)
+}
+
+// eventYield is the body of Ctx.NextRound in event mode.
+func (e *engine) eventYield(c *Ctx) []Message {
+	if e.quiesced {
+		// Post-quiescence epilogue (a proc finalizing after Recv returned
+		// ok=false): rounds no longer advance, sends go nowhere.
+		c.outbox = c.outbox[:0]
+		return nil
+	}
+	c.release()
+	e.reports <- vreport{c: c, kind: reportYield}
+	if <-c.wake == wakeAbort {
+		panic(abortSignal{})
+	}
+	c.acquire()
+	inbox := c.inbox
+	c.inbox = nil
+	return inbox
+}
+
+// eventPark is the body of Ctx.Recv in event mode.
+func (e *engine) eventPark(c *Ctx) ([]Message, bool) {
+	if e.quiesced {
+		c.outbox = c.outbox[:0]
+		return nil, false
+	}
+	c.release()
+	e.reports <- vreport{c: c, kind: reportPark}
+	switch <-c.wake {
+	case wakeAbort:
+		panic(abortSignal{})
+	case wakeQuiesce:
+		c.acquire()
+		return nil, false
+	}
+	c.acquire()
+	inbox := c.inbox
+	c.inbox = nil
+	return inbox, true
+}
+
+// schedule is the event-driven round loop. Invariant at the top of each
+// iteration after the report-draining phase: every live vertex is blocked
+// (yielded or parked) and outstanding == 0, so the scheduler has exclusive
+// access to all engine state.
+func (e *engine) schedule() {
+	outstanding := e.n // woken (or initially started) vertices yet to report
+	done := 0
+	var yielded []*Ctx // this round's explicit self-wakeups
+	for {
+		for outstanding > 0 {
+			r := <-e.reports
+			outstanding--
+			switch r.kind {
+			case reportYield:
+				yielded = append(yielded, r.c)
+				if len(r.c.outbox) > 0 {
+					e.dirty = append(e.dirty, r.c)
+				}
+			case reportPark:
+				r.c.parked = true
+				if len(r.c.outbox) > 0 {
+					e.dirty = append(e.dirty, r.c)
+				}
+			case reportDone:
+				r.c.done = true
+				r.c.outbox = nil
+				done++
+			}
+		}
+		if done == e.n {
+			return
+		}
+		e.mu.Lock()
+		aborted := e.abort != nil
+		e.mu.Unlock()
+		if aborted {
+			// Unwind every blocked vertex; they report done as they exit.
+			for _, c := range yielded {
+				c.wake <- wakeAbort
+			}
+			outstanding += len(yielded)
+			yielded = yielded[:0]
+			for _, c := range e.ctxs {
+				if c.parked {
+					c.parked = false
+					c.wake <- wakeAbort
+					outstanding++
+				}
+			}
+			e.dirty = e.dirty[:0]
+			continue
+		}
+		if len(yielded) == 0 && len(e.dirty) == 0 {
+			// No self-wakeups and no traffic: every live vertex is parked
+			// and no round could ever change anything. Quiesce: release
+			// the parked vertices to finalize (Recv reports ok=false).
+			e.quiesced = true
+			for _, c := range e.ctxs {
+				if c.parked {
+					c.parked = false
+					c.wake <- wakeQuiesce
+					outstanding++
+				}
+			}
+			continue
+		}
+		// Complete the round: meter and deliver, then wake exactly the
+		// active set — yielders plus parked vertices that got messages.
+		e.stats.Rounds++
+		if e.stats.Rounds > e.maxRounds {
+			e.mu.Lock()
+			if e.abort == nil {
+				e.abort = e.roundLimitError()
+			}
+			e.mu.Unlock()
+			continue
+		}
+		e.routeLocked()
+		e.mu.Lock()
+		aborted = e.abort != nil // Enforce tripped during metering
+		e.mu.Unlock()
+		if aborted {
+			// Receivers already flipped awake by routing must get the
+			// abort wake here; the loop's abort path only sees parked
+			// vertices. Yielders are handled there next iteration.
+			for _, c := range e.woken {
+				c.wake <- wakeAbort
+			}
+			outstanding += len(e.woken)
+			e.woken = e.woken[:0]
+			continue
+		}
+		for _, c := range yielded {
+			c.wake <- wakeStep
+		}
+		for _, c := range e.woken {
+			c.wake <- wakeStep
+		}
+		outstanding += len(yielded) + len(e.woken)
+		yielded = yielded[:0]
+		e.woken = e.woken[:0]
+	}
+}

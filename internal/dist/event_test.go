@@ -1,0 +1,354 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distspanner/internal/graph"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", ModeAuto}, {"auto", ModeAuto}, {"barrier", ModeBarrier}, {"event", ModeEvent}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("Mode.String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted a bogus mode")
+	}
+	if _, err := Run(Config{Graph: path(2), Mode: Mode(99)}, func(*Ctx) {}); err == nil {
+		t.Error("Run accepted an invalid Config.Mode")
+	}
+}
+
+func TestAutoModeThreshold(t *testing.T) {
+	if got := ModeAuto.resolve(EventThreshold - 1); got != ModeBarrier {
+		t.Errorf("auto below threshold = %v", got)
+	}
+	if got := ModeAuto.resolve(EventThreshold); got != ModeEvent {
+		t.Errorf("auto at threshold = %v", got)
+	}
+	if got := ModeBarrier.resolve(1 << 20); got != ModeBarrier {
+		t.Errorf("explicit barrier resolved to %v", got)
+	}
+}
+
+// runBothModes executes the same configured protocol under the barrier and
+// event engines and requires identical outcomes, returning the (shared)
+// stats and error.
+func runBothModes(t *testing.T, cfg Config, mkProc func(out []int64) func(*Ctx)) ([]int64, *Stats, error) {
+	t.Helper()
+	type result struct {
+		out   []int64
+		stats *Stats
+		err   error
+	}
+	var results [2]result
+	for i, mode := range []Mode{ModeBarrier, ModeEvent} {
+		c := cfg
+		c.Mode = mode
+		out := make([]int64, c.Graph.N())
+		stats, err := Run(c, mkProc(out))
+		results[i] = result{out, stats, err}
+	}
+	b, ev := results[0], results[1]
+	if (b.err == nil) != (ev.err == nil) {
+		t.Fatalf("modes disagree on failure: barrier err=%v, event err=%v", b.err, ev.err)
+	}
+	if b.err == nil {
+		if !reflect.DeepEqual(b.out, ev.out) {
+			t.Fatalf("per-vertex outputs differ across modes:\nbarrier: %v\nevent:   %v", b.out, ev.out)
+		}
+		if *b.stats != *ev.stats {
+			t.Fatalf("stats differ across modes:\nbarrier: %+v\nevent:   %+v", *b.stats, *ev.stats)
+		}
+	}
+	return b.out, b.stats, b.err
+}
+
+func TestEventModeGossipMatchesBarrier(t *testing.T) {
+	_, stats, err := runBothModes(t, Config{Graph: clique(12), Seed: 42}, func(out []int64) func(*Ctx) {
+		return gossipProc(8, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 8 {
+		t.Fatalf("Rounds = %d, want 8", stats.Rounds)
+	}
+}
+
+func TestRecvParksUntilDelivery(t *testing.T) {
+	// Vertex 0 stays silent for 5 rounds, then pings vertex 1, which is
+	// parked in Recv the whole time. The receiver must see exactly the
+	// round-6 delivery; the skipped rounds still count globally.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		g := path(3)
+		got := make([]int, 0, 1)
+		stats, err := Run(Config{Graph: g, Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			switch ctx.ID() {
+			case 0:
+				for r := 0; r < 5; r++ {
+					ctx.NextRound()
+				}
+				ctx.Send(1, blob{val: 77, size: 8})
+				ctx.NextRound()
+			case 1:
+				msgs, ok := ctx.Recv()
+				if !ok || len(msgs) != 1 {
+					t.Errorf("mode %v: Recv = %v, %v", mode, msgs, ok)
+					return
+				}
+				got = append(got, msgs[0].Payload.(blob).val)
+			case 2:
+				// Parked forever: released only by quiescence.
+				if _, ok := ctx.Recv(); ok {
+					t.Errorf("mode %v: vertex 2 woke without a delivery", mode)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []int{77}) {
+			t.Fatalf("mode %v: received %v", mode, got)
+		}
+		if stats.Rounds != 6 {
+			t.Fatalf("mode %v: Rounds = %d, want 6", mode, stats.Rounds)
+		}
+	}
+}
+
+func TestQuiesceImmediate(t *testing.T) {
+	// Every vertex parks with nothing in flight: the run quiesces without
+	// completing a single round.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		released := make([]bool, 4)
+		stats, err := Run(Config{Graph: clique(4), Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			if msgs, ok := ctx.Recv(); ok || msgs != nil {
+				t.Errorf("mode %v: Recv on a silent network = %v, %v", mode, msgs, ok)
+			}
+			released[ctx.ID()] = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds != 0 {
+			t.Fatalf("mode %v: Rounds = %d, want 0", mode, stats.Rounds)
+		}
+		for v, ok := range released {
+			if !ok {
+				t.Fatalf("mode %v: vertex %d never released from Recv", mode, v)
+			}
+		}
+	}
+}
+
+func TestQuiesceAfterTraffic(t *testing.T) {
+	// Each vertex forwards a token a fixed number of hops, then parks; the
+	// run must flush all traffic, then quiesce deterministically.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		n := 8
+		g := benchGraph(n)
+		stats, err := Run(Config{Graph: g, Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			if ctx.ID() == 0 {
+				ctx.Send(ctx.Neighbors()[0], blob{val: 3, size: 8})
+			}
+			for {
+				msgs, ok := ctx.Recv()
+				if !ok {
+					return
+				}
+				for _, m := range msgs {
+					if hops := m.Payload.(blob).val; hops > 0 {
+						ctx.Send(ctx.Neighbors()[0], blob{val: hops - 1, size: 8})
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Token travels 4 hops (rounds 1-4); round 5 delivers nothing, but
+		// the last forward commits in round 4 and quiescence follows.
+		if stats.Rounds != 4 || stats.Messages != 4 {
+			t.Fatalf("mode %v: stats = %+v", mode, stats)
+		}
+	}
+}
+
+func TestQuiesceEpilogueIsInert(t *testing.T) {
+	// After Recv reports quiescence, NextRound must return immediately
+	// with nothing, and sends must be discarded, in both modes.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		stats, err := Run(Config{Graph: path(2), Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			if _, ok := ctx.Recv(); ok {
+				t.Errorf("mode %v: expected quiescence", mode)
+			}
+			ctx.Broadcast(blob{val: 1, size: 8})
+			if msgs := ctx.NextRound(); msgs != nil {
+				t.Errorf("mode %v: post-quiescence NextRound = %v", mode, msgs)
+			}
+			if msgs, ok := ctx.Recv(); ok || msgs != nil {
+				t.Errorf("mode %v: post-quiescence Recv = %v, %v", mode, msgs, ok)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds != 0 || stats.Messages != 0 {
+			t.Fatalf("mode %v: post-quiescence traffic metered: %+v", mode, stats)
+		}
+	}
+}
+
+func TestEventModeErrors(t *testing.T) {
+	// The failure paths must behave identically in event mode: vertex
+	// panics become Run errors, round limits abort, enforced bandwidth
+	// aborts — including with parked vertices waiting.
+	g := clique(5)
+	_, err := Run(Config{Graph: g, Seed: 1, Mode: ModeEvent}, func(ctx *Ctx) {
+		if ctx.ID() == 3 {
+			panic("protocol bug")
+		}
+		if _, ok := ctx.Recv(); ok {
+			t.Error("parked vertex woke without delivery")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "protocol bug") {
+		t.Fatalf("vertex panic in event mode: err = %v", err)
+	}
+
+	_, err = Run(Config{Graph: g, Seed: 1, Mode: ModeEvent, MaxRounds: 10}, func(ctx *Ctx) {
+		for {
+			ctx.Broadcast(blob{size: 1})
+			ctx.NextRound()
+		}
+	})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("round limit in event mode: err = %v", err)
+	}
+
+	_, err = Run(Config{Graph: path(3), Seed: 1, Mode: ModeEvent, Bandwidth: 8, Enforce: true}, func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			ctx.Send(1, blob{size: 100})
+			ctx.NextRound()
+			return
+		}
+		if _, ok := ctx.Recv(); ok {
+			ctx.Recv()
+		}
+	})
+	if !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("enforced bandwidth in event mode: err = %v", err)
+	}
+}
+
+func TestEventModeStaggeredTermination(t *testing.T) {
+	// Re-run the staggered-termination scenario under the event engine:
+	// messages to retired vertices are metered but dropped.
+	stats, err := Run(Config{Graph: clique(4), Seed: 1, Mode: ModeEvent}, func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			return
+		}
+		for r := 0; r < 3; r++ {
+			ctx.Broadcast(blob{size: 4})
+			inbox := ctx.NextRound()
+			if len(inbox) != 2 {
+				t.Errorf("vertex %d round %d: %d messages, want 2", ctx.ID(), r, len(inbox))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 || stats.Messages != 27 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// chaosProc is a randomized protocol mixing every engine primitive: each
+// vertex flips its private coin to decide between sending to random
+// neighbors, yielding via NextRound, and parking in Recv, folding
+// everything it hears into a per-vertex hash. Because each vertex's RNG is
+// a pure function of (seed, id), the whole transcript must be a pure
+// function of (graph, seed) — in every mode, under any worker gating.
+func chaosProc(steps int, out []int64) func(*Ctx) {
+	return func(ctx *Ctx) {
+		h := int64(ctx.ID()) + 1
+		defer func() { out[ctx.ID()] = h }()
+		for s := 0; s < steps; s++ {
+			if deg := ctx.Degree(); deg > 0 && ctx.Rand().Intn(3) > 0 {
+				for k := ctx.Rand().Intn(3); k > 0; k-- {
+					to := ctx.Neighbors()[ctx.Rand().Intn(deg)]
+					v := ctx.Rand().Intn(1 << 16)
+					ctx.Send(to, blob{val: v, size: 8 + v%9})
+					h = h*31 + int64(v)
+				}
+			}
+			var msgs []Message
+			if ctx.Rand().Intn(4) == 0 {
+				var ok bool
+				msgs, ok = ctx.Recv()
+				if !ok {
+					h = h*31 + 7
+					return
+				}
+			} else {
+				msgs = ctx.NextRound()
+			}
+			for _, m := range msgs {
+				h = h*31 + int64(m.From) + int64(m.Payload.(blob).val)<<1
+			}
+		}
+	}
+}
+
+func TestCrossModeChaosEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"clique16":   clique(16),
+		"path33":     path(33),
+		"ring64":     benchGraph(64),
+		"sparse2x40": func() *graph.Graph { g := graph.New(80); g.AddEdge(0, 79); return g }(),
+	}
+	for name, g := range graphs {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				var ref []int64
+				var refStats Stats
+				for i, cfg := range []Config{
+					{Graph: g, Seed: seed, Mode: ModeBarrier},
+					{Graph: g, Seed: seed, Mode: ModeBarrier, Workers: 3},
+					{Graph: g, Seed: seed, Mode: ModeEvent},
+					{Graph: g, Seed: seed, Mode: ModeEvent, Workers: 3},
+				} {
+					out := make([]int64, g.N())
+					stats, err := Run(cfg, chaosProc(10, out))
+					if err != nil {
+						t.Fatalf("config %d: %v", i, err)
+					}
+					if i == 0 {
+						ref, refStats = out, *stats
+						continue
+					}
+					if !reflect.DeepEqual(ref, out) {
+						t.Fatalf("config %d (mode=%v workers=%d) diverged from barrier reference", i, cfg.Mode, cfg.Workers)
+					}
+					if refStats != *stats {
+						t.Fatalf("config %d stats diverged:\nref: %+v\ngot: %+v", i, refStats, *stats)
+					}
+				}
+			})
+		}
+	}
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// defaults to 8 words of ceil(log2 n) bits. Enforcement is always on:
 	// exceeding the budget is an error, demonstrating CONGEST legality.
 	Bandwidth int
+	// ExecMode selects the engine's scheduling strategy (barrier vs
+	// event-driven); the zero value auto-switches on network size.
+	// Results are identical in every mode — only wall-clock cost differs.
+	ExecMode dist.Mode
 }
 
 // Result reports the outcome.
@@ -105,6 +109,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	stats, err := dist.Run(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
+		Mode:      opts.ExecMode,
 		Bandwidth: bandwidth,
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,

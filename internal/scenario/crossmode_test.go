@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestCrossModeScenarioEquivalence is the scheduler-equivalence check at
+// the workload level: the same (scenario, cell, seed) run under the
+// barrier engine and under the event-driven scheduler must produce
+// identical metrics — same spanner/dominating-set size, same round count,
+// same metered bits, bit for bit. Cells and seeds are randomized so every
+// run exercises fresh instances; any divergence is an engine bug, not a
+// flaky workload.
+func TestCrossModeScenarioEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	cases := []struct {
+		scenario string
+		cell     func() Params
+	}{
+		{"twospanner", func() Params {
+			return Params{
+				"n": strconv.Itoa(24 + rng.Intn(40)),
+				"p": []string{"0.1", "0.15", "0.25"}[rng.Intn(3)],
+			}
+		}},
+		{"twospanner-congest", func() Params {
+			return Params{"n": strconv.Itoa(12 + rng.Intn(12))}
+		}},
+		{"twospanner-directed", func() Params {
+			return Params{"n": strconv.Itoa(12 + rng.Intn(12)), "p": "0.2"}
+		}},
+		{"mds", func() Params {
+			return Params{
+				"family": []string{"cgnp", "expander"}[rng.Intn(2)],
+				"n":      strconv.Itoa(16 + rng.Intn(24)),
+			}
+		}},
+	}
+	for _, tc := range cases {
+		sc, ok := Get(tc.scenario)
+		if !ok {
+			t.Fatalf("scenario %q not registered", tc.scenario)
+		}
+		for rep := 0; rep < 3; rep++ {
+			cell := tc.cell()
+			seed := rng.Int63()
+			var metrics [2]Metrics
+			var errs [2]error
+			for i, engine := range []string{"barrier", "event"} {
+				p := sc.Defaults.Merge(cell).Merge(Params{"engine": engine})
+				metrics[i], errs[i] = sc.Run(p, seed)
+			}
+			if (errs[0] == nil) != (errs[1] == nil) {
+				t.Fatalf("%s %v seed %d: engines disagree on failure: barrier=%v event=%v",
+					tc.scenario, cell, seed, errs[0], errs[1])
+			}
+			if !reflect.DeepEqual(metrics[0], metrics[1]) {
+				t.Fatalf("%s %v seed %d: metrics diverge across engines:\nbarrier: %v\nevent:   %v",
+					tc.scenario, cell, seed, metrics[0], metrics[1])
+			}
+		}
+	}
+}

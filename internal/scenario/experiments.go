@@ -357,7 +357,7 @@ func init() {
 			case "forwards":
 				gf := gen.ConnectedGNP(p.Int("n", 14), p.Float("p", 0.35), instanceSeed(p, seed))
 				mvcOpt := len(exact.MinVertexCover(gf))
-				res, err := lb.MVCViaSpanner(gf, core.Options{Seed: seed})
+				res, err := lb.MVCViaSpanner(gf, core.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
@@ -420,7 +420,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.TwoSpanner(g, core.Options{Seed: seed})
+				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
@@ -444,7 +444,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.TwoSpanner(g, core.Options{Seed: seed})
+				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
@@ -458,7 +458,7 @@ func init() {
 			case "scaling":
 				c := p.Int("c", 4)
 				gs := gen.PlantedStars(c, p.Int("s", 8), p.Float("q", 0.4), instanceSeed(p, seed))
-				res, err := core.TwoSpanner(gs, core.Options{Seed: seed})
+				res, err := core.TwoSpanner(gs, core.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
@@ -577,7 +577,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := mds.Run(g, mds.Options{Seed: seed})
+			res, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p)})
 			if err != nil {
 				return nil, err
 			}
@@ -643,11 +643,11 @@ func init() {
 			switch mode := p.Str("mode", "bits"); mode {
 			case "bits":
 				g := gen.Clique(p.Int("n", 16))
-				resC, err := core.TwoSpanner(g, core.Options{Seed: seed})
+				resC, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
-				resM, err := mds.Run(g, mds.Options{Seed: seed})
+				resM, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p)})
 				if err != nil {
 					return nil, err
 				}
@@ -719,11 +719,11 @@ func init() {
 		Grid:  Grid{"n": {"8", "16", "24", "32"}},
 		Run: func(p Params, seed int64) (Metrics, error) {
 			g := gen.Clique(p.Int("n", 16))
-			local, err := core.TwoSpanner(g, core.Options{Seed: seed})
+			local, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 			if err != nil {
 				return nil, err
 			}
-			cg, err := core.TwoSpannerCongest(g, core.Options{Seed: seed})
+			cg, err := core.TwoSpannerCongest(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 			if err != nil {
 				return nil, err
 			}

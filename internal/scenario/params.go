@@ -99,6 +99,27 @@ func (p Params) Key() string {
 	return strings.Join(parts, " ")
 }
 
+// execOnlyParams name the parameters that select how a run executes
+// rather than what instance it runs on. They are excluded from
+// InstanceKey so that cells differing only in execution knobs draw the
+// same derived seeds — which is what makes an engine={barrier,event}
+// sweep axis a pure wall-clock comparison over identical instances.
+var execOnlyParams = map[string]bool{"engine": true}
+
+// InstanceKey is Key with execution-only parameters (the dist engine
+// selection) removed: the identity of the probabilistic instance, used by
+// sweep seed derivation.
+func (p Params) InstanceKey() string {
+	parts := make([]string, 0, len(p))
+	for _, k := range p.Keys() {
+		if execOnlyParams[k] {
+			continue
+		}
+		parts = append(parts, k+"="+p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
 // Metrics is a scenario run's measured output: named scalar observations
 // (rounds, bits, sizes, ratios, 0/1 verification flags, ...). The sweep
 // layer aggregates each metric independently across replicates.

@@ -11,6 +11,17 @@
 // the paper's E1–E15 reproduction suite, each experiment being nothing
 // more than a registered scenario with default cases. Adding a workload is
 // adding a Register call — no driver code changes.
+//
+// Every scenario that executes on the internal/dist engine (the spanner
+// variants, MDS, and the E1–E15 experiments built on them) honors the
+// shared "engine" parameter ("auto", "barrier", "event"), selecting which
+// scheduling strategy executes the protocol: the classic barrier engine
+// or the event-driven scheduler that only wakes active vertices.
+// Sequential and analytic scenarios ignore it. The two engines are
+// bit-identical by the dist package's determinism contract, so "engine"
+// is an execution-only parameter: it is excluded from instance identity
+// (Params.InstanceKey), and sweeping engine={barrier,event} compares
+// wall-clock cost over identical instances.
 package scenario
 
 import (

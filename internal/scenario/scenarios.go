@@ -70,9 +70,24 @@ func verifySpanner(g *graph.Graph, H *graph.EdgeSet, k int, m Metrics) error {
 	return nil
 }
 
+// execMode parses the shared "engine" parameter every simulated scenario
+// honors: the engine's scheduling strategy ("auto", "barrier", "event").
+// Results are mode-independent by the engine's determinism contract, so
+// sweeping engine={barrier,event} is a pure wall-clock comparison — and a
+// cross-mode equivalence check, since any metric difference is an engine
+// bug (crossmode_test.go asserts exactly that).
+func execMode(p Params) dist.Mode {
+	m, err := dist.ParseMode(p.Str("engine", "auto"))
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	return m
+}
+
 func coreOptions(p Params, seed int64) core.Options {
 	return core.Options{
 		Seed:            seed,
+		ExecMode:        execMode(p),
 		VoteDenominator: p.Int("votden", 0),
 		FreshStars:      p.Bool("fresh", false),
 		NoRounding:      p.Bool("noround", false),
@@ -288,7 +303,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := mds.Run(g, mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0)})
+			res, err := mds.Run(g, mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p)})
 			if err != nil {
 				return nil, err
 			}

@@ -9,10 +9,13 @@
 // Determinism: the report (cells, run order, seeds, metrics) is a pure
 // function of (scenario, cells, replicates, base seed) — worker count and
 // scheduling only change wall-clock time. Run seeds are derived by hashing
-// the scenario name, the cell's canonical parameter key, and the replicate
-// index into the base seed, so a cell's seeds are stable under grid
-// reordering and sweep composition. Wall-clock durations are deliberately
-// excluded from the serialized report.
+// the scenario name, the cell's instance key, and the replicate index into
+// the base seed, so a cell's seeds are stable under grid reordering and
+// sweep composition. Execution-only parameters (the "engine" selection of
+// the dist scheduler) are excluded from the instance key: cells differing
+// only in engine run identical instances and must report identical
+// metrics, making an engine axis a pure wall-clock comparison. Wall-clock
+// durations are deliberately excluded from the serialized report.
 package sweep
 
 import (
@@ -111,13 +114,16 @@ type Report struct {
 func (r *Report) Failed() bool { return r.Failures > 0 }
 
 // DeriveSeed returns the seed of one (scenario, cell, replicate) run:
-// base mixed with an FNV hash of the scenario name and canonical cell key,
-// then a splitmix64 step per replicate. Stable under cell reordering.
+// base mixed with an FNV hash of the scenario name and the cell's
+// instance key, then a splitmix64 step per replicate. Stable under cell
+// reordering, and blind to execution-only parameters (the "engine"
+// selection), so cells that differ only in engine mode run identical
+// instances — any metric difference between them is an engine bug.
 func DeriveSeed(base int64, scenarioName string, cell scenario.Params, replicate int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(scenarioName))
 	h.Write([]byte{0})
-	h.Write([]byte(cell.Key()))
+	h.Write([]byte(cell.InstanceKey()))
 	z := uint64(base) ^ h.Sum64()
 	z += 0x9e3779b97f4a7c15 * uint64(replicate+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -269,3 +269,44 @@ func TestRealScenarioSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineAxisRunsIdenticalInstances(t *testing.T) {
+	// Cells that differ only in the execution-only "engine" parameter must
+	// derive identical seeds (InstanceKey is blind to it), so a sweep over
+	// engine={barrier,event} runs the same instances and — by the dist
+	// engine's cross-mode determinism contract — yields identical metrics.
+	for r := 0; r < 3; r++ {
+		a := DeriveSeed(7, "twospanner", scenario.Params{"n": "32", "engine": "barrier"}, r)
+		b := DeriveSeed(7, "twospanner", scenario.Params{"n": "32", "engine": "event"}, r)
+		c := DeriveSeed(7, "twospanner", scenario.Params{"n": "32"}, r)
+		if a != b || a != c {
+			t.Fatalf("replicate %d: engine parameter leaked into seed derivation: %d %d %d", r, a, b, c)
+		}
+	}
+	sc, ok := scenario.Get("twospanner")
+	if !ok {
+		t.Fatal("twospanner not registered")
+	}
+	rep, err := Execute(Options{
+		Scenario:   sc,
+		Cells:      []scenario.Params{{"n": "28", "engine": "barrier"}, {"n": "28", "engine": "event"}},
+		Replicates: 2,
+		BaseSeed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sweep failed: %+v", rep.Cells)
+	}
+	barrier, event := rep.Cells[0], rep.Cells[1]
+	if len(barrier.Metrics) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	for name, agg := range barrier.Metrics {
+		if event.Metrics[name] != agg {
+			t.Fatalf("metric %q diverges across engine cells: barrier %+v, event %+v",
+				name, agg, event.Metrics[name])
+		}
+	}
+}

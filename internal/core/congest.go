@@ -46,6 +46,7 @@ const (
 	kindTerm
 	kindVote
 	kindAccept
+	kindUncovFull
 )
 
 // encodePayload flattens a core payload into words. Densities travel as
@@ -58,6 +59,9 @@ func encodePayload(p dist.Payload) (uint8, []int, error) {
 	case spanListMsg:
 		return kindSpanList, m.nbrs, nil
 	case uncovMsg:
+		if m.full {
+			return kindUncovFull, m.nbrs, nil
+		}
 		return kindUncov, m.nbrs, nil
 	case densMsg:
 		return kindDens, []int{m.num, m.den}, nil
@@ -88,6 +92,8 @@ func decodePayload(kind uint8, words []int, n int) (dist.Payload, error) {
 		return spanListMsg{nbrs: words, n: n}, nil
 	case kindUncov:
 		return uncovMsg{nbrs: words, n: n}, nil
+	case kindUncovFull:
+		return uncovMsg{nbrs: words, full: true, n: n}, nil
 	case kindDens:
 		if len(words) != 2 {
 			return nil, errors.New("core: bad density fragment")
@@ -186,11 +192,50 @@ func (c *congestCtx) Send(to int, p dist.Payload) {
 	c.out[to] = append(c.out[to], pendingPayload{kind: kind, words: words})
 }
 
-// Broadcast implements roundCtx.
-func (c *congestCtx) Broadcast(p dist.Payload) {
-	for _, u := range c.ctx.Neighbors() {
-		c.Send(u, p)
+// inStream reassembles one sender's fragmented payload.
+type inStream struct {
+	kind  uint8
+	words []int
+	done  bool
+}
+
+// collectChunks folds one physical round's inbox into the reassembly map.
+func collectChunks(incoming map[int]*inStream, msgs []dist.Message) {
+	for _, m := range msgs {
+		ch, ok := m.Payload.(chunkMsg)
+		if !ok {
+			panic(fmt.Sprintf("core: non-chunk payload %T in CONGEST mode", m.Payload))
+		}
+		st := incoming[m.From]
+		if st == nil || st.done {
+			st = &inStream{kind: ch.kind}
+			incoming[m.From] = st
+		}
+		st.words = append(st.words, ch.words...)
+		if !ch.more {
+			st.done = true
+		}
 	}
+}
+
+// assemble decodes the reassembled streams into the logical inbox, sorted
+// by sender.
+func (c *congestCtx) assemble(incoming map[int]*inStream) []dist.Message {
+	froms := make([]int, 0, len(incoming))
+	for from := range incoming {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	msgs := make([]dist.Message, 0, len(froms))
+	for _, from := range froms {
+		st := incoming[from]
+		p, err := decodePayload(st.kind, st.words, c.ctx.N())
+		if err != nil {
+			panic(err)
+		}
+		msgs = append(msgs, dist.Message{From: from, Payload: p})
+	}
+	return msgs
 }
 
 // NextRound implements roundCtx: it spends exactly c.sub physical rounds
@@ -212,12 +257,6 @@ func (c *congestCtx) NextRound() []dist.Message {
 	}
 	c.out = make(map[int][]pendingPayload)
 
-	type inStream struct {
-		kind  uint8
-		words []int
-		open  bool
-		done  bool
-	}
 	incoming := make(map[int]*inStream)
 	n := c.ctx.N()
 	for round := 0; round < c.sub; round++ {
@@ -240,37 +279,32 @@ func (c *congestCtx) NextRound() []dist.Message {
 				c.ctx.Send(to, chunk)
 			}
 		}
-		for _, m := range c.ctx.NextRound() {
-			ch, ok := m.Payload.(chunkMsg)
-			if !ok {
-				panic(fmt.Sprintf("core: non-chunk payload %T in CONGEST mode", m.Payload))
-			}
-			st := incoming[m.From]
-			if st == nil || st.done {
-				st = &inStream{kind: ch.kind, open: true}
-				incoming[m.From] = st
-			}
-			st.words = append(st.words, ch.words...)
-			if !ch.more {
-				st.done = true
-			}
-		}
+		collectChunks(incoming, c.ctx.NextRound())
 	}
-	froms := make([]int, 0, len(incoming))
-	for from := range incoming {
-		froms = append(froms, from)
+	return c.assemble(incoming)
+}
+
+// Recv implements roundCtx: it parks the vertex across whole logical
+// rounds. A vertex with nothing to send costs zero physical wakeups until
+// a peer addresses it; every stream's first chunk is committed at a
+// logical-round boundary, so the physical wake lands on the first round
+// of a logical window and the remaining sub-1 physical rounds both finish
+// the collection and re-align the vertex with the network's round grid.
+// Quiescence (ok=false) passes through from the physical engine.
+func (c *congestCtx) Recv() ([]dist.Message, bool) {
+	if len(c.out) != 0 {
+		panic("core: congest Recv with queued sends (park only when silent)")
 	}
-	sort.Ints(froms)
-	msgs := make([]dist.Message, 0, len(froms))
-	for _, from := range froms {
-		st := incoming[from]
-		p, err := decodePayload(st.kind, st.words, n)
-		if err != nil {
-			panic(err)
-		}
-		msgs = append(msgs, dist.Message{From: from, Payload: p})
+	msgs, ok := c.ctx.Recv()
+	if !ok {
+		return nil, false
 	}
-	return msgs
+	incoming := make(map[int]*inStream)
+	collectChunks(incoming, msgs)
+	for round := 1; round < c.sub; round++ {
+		collectChunks(incoming, c.ctx.NextRound())
+	}
+	return c.assemble(incoming), true
 }
 
 // CongestResult extends Result with the fragmentation accounting.
@@ -325,6 +359,7 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 		Bandwidth: bandwidth,
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,
+		OnRound:   opts.RoundHook,
 	}, proc)
 	if err != nil {
 		return nil, err

@@ -14,6 +14,30 @@
 // potential votes. Stars are chosen by the careful rule of Section 4.1 so
 // that, within one rounded-density level, the chosen stars only shrink
 // (Claim 4.4), which is what bounds the round complexity.
+//
+// # Activity-aware execution
+//
+// The implementations are event-driven within the paper's fixed
+// per-iteration round grid (see ALGORITHMS.md). State announcements are
+// deltas accumulated by receivers, so the folded quantities match the
+// classic re-broadcast-everything execution round for round while static
+// vertices send nothing. Per-vertex termination states replace
+// round-count spinning:
+//
+//   - active: the vertex owes a delta or is a candidate and runs the full
+//     iteration;
+//   - parked: nothing to send and no candidacy — the vertex blocks in
+//     dist.Ctx.Recv and is woken only by deliveries, whose payload types
+//     identify the iteration phase it rejoins;
+//   - terminal: the paper's 2-hop termination rule fired — the vertex
+//     direct-adds its remaining uncovered edges, announces a termMsg that
+//     doubles as a death notice (peers prune it from folds and broadcast
+//     lists), and retires. A vertex parked past the end of the run is
+//     released by the engine's quiescence and finalizes the same way.
+//
+// The engine's Stats.ActiveSteps / Stats.ParkedSteps record the
+// resulting activity profile; Options.RoundHook exposes the full
+// per-round curve.
 package core
 
 import "math"

@@ -10,12 +10,15 @@ import (
 
 // Directed-variant payloads. Communication runs over the underlying
 // undirected graph (the paper's model is bidirectional even for directed
-// spanner problems), so directionality is data, not topology.
+// spanner problems), so directionality is data, not topology. Like the
+// undirected protocol, state announcements are deltas accumulated by the
+// receivers, and each phase has a distinguishable payload, so idle
+// vertices park in Recv and re-identify the phase on wake-up.
 
-// dirSpanListMsg broadcasts the sender's outgoing spanner edges: an entry w
-// means (sender, w) is in the spanner. Out-lists alone suffice for coverage
-// checks, since every directed 2-path u -> x -> w consists of out-edges of
-// u and x.
+// dirSpanListMsg announces the sender's newly added outgoing spanner
+// edges: an entry w means (sender, w) joined the spanner. Out-lists alone
+// suffice for coverage checks, since every directed 2-path u -> x -> w
+// consists of out-edges of u and x. Phase G'; sent only on growth.
 type dirSpanListMsg struct {
 	outNbrs []int
 	n       int
@@ -25,9 +28,12 @@ func (m dirSpanListMsg) Bits() int {
 	return (1 + len(m.outNbrs)) * dist.IDBits(m.n)
 }
 
-// dirUncovMsg broadcasts the sender's uncovered outgoing edges by head.
+// dirUncovMsg announces the sender's uncovered outgoing edges by head:
+// the full list once at start-up (full=true), then removals as heads
+// become covered. Phase A.
 type dirUncovMsg struct {
 	heads []int
+	full  bool
 	n     int
 }
 
@@ -41,7 +47,9 @@ type dirStarEntry struct {
 	In, Out bool
 }
 
-// dirStarMsg announces a candidate's directed star and random rank.
+// dirStarMsg announces a candidate's directed star and random rank
+// (phase D; r >= 1), or — with r == -1 — that the star was accepted into
+// the spanner (phase F).
 type dirStarMsg struct {
 	entries []dirStarEntry
 	r       int64
@@ -53,7 +61,8 @@ func (m dirStarMsg) Bits() int {
 }
 
 // dirTermMsg announces termination: the sender adds the listed uncovered
-// incident directed edges (tail, head) to the spanner.
+// incident directed edges (tail, head) to the spanner. It doubles as the
+// death notice pruning the sender from its peers' folds and broadcasts.
 type dirTermMsg struct {
 	edges [][2]int
 	n     int
@@ -76,7 +85,10 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 		nd.tele = tele
 		nd.run()
 	}
-	stats, err := dist.Run(dist.Config{Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds, Mode: opts.ExecMode}, proc)
+	stats, err := dist.Run(dist.Config{
+		Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Mode: opts.ExecMode, OnRound: opts.RoundHook,
+	}, proc)
 	if err != nil {
 		return nil, err
 	}
@@ -102,12 +114,52 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 	}, nil
 }
 
+// classifyDirected maps a wake inbox to its phase. dirStarMsg serves two
+// phases and is disambiguated by its rank: candidates announce with
+// r >= 1, acceptances carry r == -1.
+func classifyDirected(msgs []dist.Message) uPhase {
+	switch p := msgs[0].Payload.(type) {
+	case dirSpanListMsg:
+		return phSpan
+	case dirUncovMsg:
+		return phUncov
+	case densMsg:
+		return phDens
+	case maxMsg:
+		return phMax
+	case dirTermMsg:
+		return phStar
+	case dirStarMsg:
+		if p.r == -1 {
+			return phAccept
+		}
+		return phStar
+	case voteMsg:
+		return phVote
+	}
+	panic("core: unclassifiable directed wake payload")
+}
+
+// dirDensVal is a neighbor's last announced (rounded, raw) density pair.
+// The directed variant folds both separately because the rounding applies
+// to the footnote-7 running minimum, not the instantaneous value.
+type dirDensVal struct {
+	rho, raw float64
+}
+
+// dirCandidate is one announced directed star this iteration.
+type dirCandidate struct {
+	in, out map[int]bool
+	r       int64
+}
+
 type directedNode struct {
 	ctx       *dist.Ctx
 	d         *graph.Digraph
 	outs      [][]int
 	iters     []int
 	fallbacks *atomic.Int64
+	tele      *telemetry
 
 	me      int
 	nbrs    []int
@@ -118,121 +170,233 @@ type directedNode struct {
 	covIn   map[int]bool
 	spanOut map[int]bool
 	spanIn  map[int]bool
+	nbrCnt  map[int]int // directed multiplicity per neighbor (static)
 
 	wasCand  bool
 	lastRho  float64
 	prevStar []int
 	runMin   float64 // footnote 7: running minimum of the approximate density
-	tele     *telemetry
+
+	// Accumulated per-neighbor state, kept in sync by deltas. Scalar
+	// state is indexed by neighbor position (see undirectedNode).
+	nbrPos    map[int]int
+	alive     []bool
+	spanOutOf map[int]map[int]bool
+	uncovOf   map[int]map[int]bool // live neighbor -> its uncovered out-heads
+	densOf    []dirDensVal
+	densKnown []bool
+	hopOf     []dirDensVal
+	hopKnown  []bool
+
+	// Own derived quantities and change tracking.
+	pendingSpan    []int // spanOut additions not yet announced
+	announcedUncov map[int]bool
+	sentUncovInit  bool
+	view           *dirView
+	viewDirty      bool
+	hopDirty       bool
+	m2Dirty        bool
+	raw, rho       float64
+	densSent       bool
+	lastDens       dirDensVal
+	hopRho, hopRaw float64
+	hopSent        bool
+	lastHop        dirDensVal
+	m2Rho, m2Raw   float64
+
+	// Per-iteration scratch.
+	iter        int
+	isCand      bool
+	myEntries   []dirStarEntry
+	mySpanCount int
+	cands       map[int]dirCandidate
+	myVotes     int
 }
 
 func newDirectedNode(ctx *dist.Ctx, d *graph.Digraph, outs [][]int, iters []int, fb *atomic.Int64) *directedNode {
 	me := ctx.ID()
 	nd := &directedNode{
 		ctx: ctx, d: d, outs: outs, iters: iters, fallbacks: fb,
-		me:      me,
-		nbrs:    ctx.Neighbors(),
-		nbrSet:  make(map[int]bool),
-		outEdge: make(map[int]int),
-		inEdge:  make(map[int]int),
-		covOut:  make(map[int]bool),
-		covIn:   make(map[int]bool),
-		spanOut: make(map[int]bool),
-		spanIn:  make(map[int]bool),
-		runMin:  -1,
+		me:             me,
+		nbrs:           ctx.Neighbors(),
+		nbrSet:         make(map[int]bool),
+		outEdge:        make(map[int]int),
+		inEdge:         make(map[int]int),
+		covOut:         make(map[int]bool),
+		covIn:          make(map[int]bool),
+		spanOut:        make(map[int]bool),
+		spanIn:         make(map[int]bool),
+		nbrCnt:         make(map[int]int),
+		runMin:         -1,
+		nbrPos:         make(map[int]int),
+		spanOutOf:      make(map[int]map[int]bool),
+		uncovOf:        make(map[int]map[int]bool),
+		announcedUncov: make(map[int]bool),
+		viewDirty:      true,
+		hopDirty:       true,
+		m2Dirty:        true,
 	}
-	for _, u := range nd.nbrs {
+	deg := len(nd.nbrs)
+	nd.alive = make([]bool, deg)
+	nd.densOf = make([]dirDensVal, deg)
+	nd.densKnown = make([]bool, deg)
+	nd.hopOf = make([]dirDensVal, deg)
+	nd.hopKnown = make([]bool, deg)
+	for i, u := range nd.nbrs {
 		nd.nbrSet[u] = true
+		nd.nbrPos[u] = i
+		nd.alive[i] = true
+		cnt := 0
 		if idx, ok := d.EdgeIndex(me, u); ok {
 			nd.outEdge[u] = idx
+			cnt++
 		}
 		if idx, ok := d.EdgeIndex(u, me); ok {
 			nd.inEdge[u] = idx
+			cnt++
 		}
+		nd.nbrCnt[u] = cnt
 	}
 	return nd
 }
 
+// setSpanOut records (me, w) as a spanner member and queues the round-1
+// delta announcing it.
+func (nd *directedNode) setSpanOut(w int) {
+	if !nd.spanOut[w] {
+		nd.spanOut[w] = true
+		nd.pendingSpan = append(nd.pendingSpan, w)
+	}
+}
+
+// bcast sends p to every live neighbor.
+func (nd *directedNode) bcast(p dist.Payload) {
+	for i, u := range nd.nbrs {
+		if nd.alive[i] {
+			nd.ctx.Send(u, p)
+		}
+	}
+}
+
+// parkable mirrors undirectedNode.parkable for the directed state.
+func (nd *directedNode) parkable() bool {
+	if len(nd.pendingSpan) > 0 || nd.viewDirty || nd.hopDirty || nd.m2Dirty {
+		return false
+	}
+	for w := range nd.announcedUncov {
+		if nd.covOut[w] {
+			return false
+		}
+	}
+	return !(nd.rho > 0 && nd.rho >= nd.m2Rho && nd.raw >= 1)
+}
+
 func (nd *directedNode) run() {
-	n := nd.ctx.N()
-	for iter := 0; ; iter++ {
-		nd.iters[nd.me] = iter
+	for {
+		start := phSpan
+		var wake []dist.Message
+		if nd.iter > 0 && nd.parkable() {
+			nd.wasCand, nd.prevStar = false, nil
+			msgs, ok := nd.ctx.Recv()
+			if !ok {
+				nd.finalizeQuiesced()
+				return
+			}
+			start = classifyDirected(msgs)
+			wake = msgs
+		}
+		nd.iters[nd.me] = nd.iter
+		nd.iter++
+		if nd.iteration(start, wake) {
+			return
+		}
+	}
+}
 
-		// Phase G': exchange directed spanner lists, update coverage.
-		nd.ctx.Broadcast(dirSpanListMsg{outNbrs: setToSorted(nd.spanOut), n: n})
-		spanOutOf := make(map[int]map[int]bool)
-		for _, m := range nd.ctx.NextRound() {
-			p := m.Payload.(dirSpanListMsg)
-			spanOutOf[m.From] = sliceToSet(p.outNbrs)
+// finalizeQuiesced is the quiescence safety net: direct-add every still
+// uncovered incident directed edge (what the termination step would do),
+// then output and halt.
+func (nd *directedNode) finalizeQuiesced() {
+	for w := range nd.outEdge {
+		if !nd.covOut[w] {
+			nd.spanOut[w] = true
+			nd.covOut[w] = true
 		}
-		nd.updateCoverage(spanOutOf)
+	}
+	for u := range nd.inEdge {
+		if !nd.covIn[u] {
+			nd.spanIn[u] = true
+			nd.covIn[u] = true
+		}
+	}
+	if nd.tele != nil {
+		it := nd.iter
+		if it > 0 {
+			it--
+		}
+		nd.tele.bump(nd.tele.term, it)
+	}
+	nd.emitOutput()
+}
 
-		// Phase A: exchange uncovered outgoing edges; build directed H_v.
-		var heads []int
-		for w := range nd.outEdge {
-			if !nd.covOut[w] {
-				heads = append(heads, w)
+func (nd *directedNode) iteration(start uPhase, wake []dist.Message) bool {
+	nd.isCand = false
+	nd.myEntries = nil
+	nd.mySpanCount = 0
+	nd.cands = nil
+	nd.myVotes = 0
+	for ph := start; ph <= phAccept; ph++ {
+		var inbox []dist.Message
+		if ph == start && wake != nil {
+			inbox = wake
+		} else {
+			if nd.emit(ph) {
+				return true
 			}
+			inbox = nd.ctx.NextRound()
 		}
-		sort.Ints(heads)
-		nd.ctx.Broadcast(dirUncovMsg{heads: heads, n: n})
-		var hDir [][2]int
-		for _, m := range nd.ctx.NextRound() {
-			u := m.From
-			if _, hasIn := nd.inEdge[u]; !hasIn {
-				continue // star cannot use (u, me): no such edge
-			}
-			for _, w := range m.Payload.(dirUncovMsg).heads {
-				if w == nd.me || !nd.nbrSet[w] {
-					continue
-				}
-				if _, hasOut := nd.outEdge[w]; hasOut {
-					hDir = append(hDir, [2]int{u, w})
-				}
-			}
-		}
-		nbrCnt := make(map[int]int, len(nd.nbrs))
-		for _, u := range nd.nbrs {
-			cnt := 0
-			if _, ok := nd.outEdge[u]; ok {
-				cnt++
-			}
-			if _, ok := nd.inEdge[u]; ok {
-				cnt++
-			}
-			nbrCnt[u] = cnt
-		}
-		view := newDirView(nbrCnt, hDir)
-		_, raw := view.approxDensest(nil)
-		// Footnote 7: the approximation may fluctuate upward; use the
-		// running minimum so the rounded value never increases.
-		if nd.runMin < 0 || raw < nd.runMin {
-			nd.runMin = raw
-		}
-		raw = nd.runMin
-		rho := RoundUpPow2(raw)
+		nd.process(ph, inbox)
+	}
+	return false
+}
 
-		// Phases B + C: 2-hop maxima of (rho, raw).
-		nd.ctx.Broadcast(densMsg{rho: rho, raw: raw, wmax: 1})
-		hopRho, hopRaw := rho, raw
-		for _, m := range nd.ctx.NextRound() {
-			p := m.Payload.(densMsg)
-			hopRho = maxf(hopRho, p.rho)
-			hopRaw = maxf(hopRaw, p.raw)
+func (nd *directedNode) emit(ph uPhase) bool {
+	switch ph {
+	case phSpan:
+		if len(nd.pendingSpan) > 0 {
+			sort.Ints(nd.pendingSpan)
+			nd.bcast(dirSpanListMsg{outNbrs: nd.pendingSpan, n: nd.ctx.N()})
+			nd.pendingSpan = nil
 		}
-		nd.ctx.Broadcast(maxMsg{rho: hopRho, raw: hopRaw, wmax: 1})
-		m2Rho, m2Raw := hopRho, hopRaw
-		for _, m := range nd.ctx.NextRound() {
-			p := m.Payload.(maxMsg)
-			m2Rho = maxf(m2Rho, p.rho)
-			m2Raw = maxf(m2Raw, p.raw)
+	case phUncov:
+		nd.emitUncov()
+	case phDens:
+		if nd.viewDirty {
+			nd.rebuildView()
 		}
-
+		dv := dirDensVal{rho: nd.rho, raw: nd.raw}
+		if !nd.densSent || dv != nd.lastDens {
+			nd.bcast(densMsg{rho: nd.rho, raw: nd.raw, wmax: 1})
+			nd.densSent, nd.lastDens = true, dv
+		}
+	case phMax:
+		if nd.hopDirty {
+			nd.refoldHop()
+		}
+		hv := dirDensVal{rho: nd.hopRho, raw: nd.hopRaw}
+		if !nd.hopSent || hv != nd.lastHop {
+			nd.bcast(maxMsg{rho: nd.hopRho, raw: nd.hopRaw, wmax: 1})
+			nd.hopSent, nd.lastHop = true, hv
+		}
+	case phStar:
+		if nd.m2Dirty {
+			nd.refoldM2()
+		}
 		// Termination: as in the undirected case, with approximate
 		// densities (constants shift, shape preserved).
-		if m2Raw <= 1 {
+		if nd.m2Raw <= 1 {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.term, iter)
+				nd.tele.bump(nd.tele.term, nd.iter-1)
 			}
 			var added [][2]int
 			for w := range nd.outEdge {
@@ -249,86 +413,53 @@ func (nd *directedNode) run() {
 					added = append(added, [2]int{u, nd.me})
 				}
 			}
-			nd.ctx.Broadcast(dirTermMsg{edges: added, n: n})
+			nd.bcast(dirTermMsg{edges: added, n: nd.ctx.N()})
 			nd.ctx.NextRound()
 			nd.emitOutput()
-			return
+			return true
 		}
-
-		// Phase D: candidacy and star choice.
-		isCand := rho > 0 && rho >= m2Rho && raw >= 1
-		var myEntries []dirStarEntry
-		mySpanCount := 0
-		if isCand {
+		nd.isCand = nd.rho > 0 && nd.rho >= nd.m2Rho && nd.raw >= 1
+		if nd.isCand {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.cand, iter)
+				nd.tele.bump(nd.tele.cand, nd.iter-1)
 			}
 			var prev []bool
-			if nd.wasCand && nd.lastRho == rho && nd.prevStar != nil {
-				prev = view.maskFromIDs(nd.prevStar)
+			if nd.wasCand && nd.lastRho == nd.rho && nd.prevStar != nil {
+				prev = nd.view.maskFromIDs(nd.prevStar)
 			}
-			sel, fb := view.chooseStar(rho, prev)
+			sel, fb := nd.view.chooseStar(nd.rho, prev)
 			if fb {
 				nd.fallbacks.Add(1)
 			}
-			ids := view.starNeighborIDs(sel)
+			ids := nd.view.starNeighborIDs(sel)
 			for _, u := range ids {
 				_, hasOut := nd.outEdge[u]
 				_, hasIn := nd.inEdge[u]
-				myEntries = append(myEntries, dirStarEntry{Nbr: u, In: hasIn, Out: hasOut})
+				nd.myEntries = append(nd.myEntries, dirStarEntry{Nbr: u, In: hasIn, Out: hasOut})
 			}
-			spanned, _ := view.dirValue(sel)
-			mySpanCount = int(spanned + 0.5)
-			nd.ctx.Broadcast(dirStarMsg{entries: myEntries, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: n})
-			nd.wasCand, nd.lastRho, nd.prevStar = true, rho, ids
+			spanned, _ := nd.view.dirValue(sel)
+			nd.mySpanCount = int(spanned + 0.5)
+			nd.bcast(dirStarMsg{entries: nd.myEntries, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()})
+			nd.wasCand, nd.lastRho, nd.prevStar = true, nd.rho, ids
 		} else {
 			nd.wasCand = false
 			nd.prevStar = nil
 		}
-
-		// Phase D inbox: stars and terminations.
-		type candidate struct {
-			in, out map[int]bool
-			r       int64
-		}
-		cands := make(map[int]candidate)
-		for _, m := range nd.ctx.NextRound() {
-			switch p := m.Payload.(type) {
-			case dirTermMsg:
-				for _, e := range p.edges {
-					if e[0] == nd.me {
-						nd.spanOut[e[1]] = true
-						nd.covOut[e[1]] = true
-					}
-					if e[1] == nd.me {
-						nd.spanIn[e[0]] = true
-						nd.covIn[e[0]] = true
-					}
-				}
-			case dirStarMsg:
-				c := candidate{in: map[int]bool{}, out: map[int]bool{}, r: p.r}
-				for _, en := range p.entries {
-					if en.In {
-						c.in[en.Nbr] = true
-					}
-					if en.Out {
-						c.out[en.Nbr] = true
-					}
-				}
-				cands[m.From] = c
-			}
-		}
-
-		// Phase E: each uncovered outgoing edge (me, w) votes, owned by its
-		// tail. The candidate v 2-spans (me, w) iff (me, v) and (v, w) are
-		// in S_v: v's star has an In entry for me and an Out entry for w.
+	case phVote:
+		// Each uncovered outgoing edge (me, w) votes, owned by its tail.
+		// The candidate v 2-spans (me, w) iff (me, v) and (v, w) are in
+		// S_v: v's star has an In entry for me and an Out entry for w.
 		votes := make(map[int][][2]int)
+		heads := make([]int, 0, len(nd.outEdge))
 		for w := range nd.outEdge {
-			if nd.covOut[w] {
-				continue
+			if !nd.covOut[w] {
+				heads = append(heads, w)
 			}
+		}
+		sort.Ints(heads)
+		for _, w := range heads {
 			bestV, bestR := -1, int64(0)
-			for vid, c := range cands {
+			for vid, c := range nd.cands {
 				if !c.in[nd.me] || !c.out[w] {
 					continue
 				}
@@ -341,31 +472,148 @@ func (nd *directedNode) run() {
 			}
 		}
 		for vid, es := range votes {
-			nd.ctx.Send(vid, voteMsg{edges: es, n: n})
+			nd.ctx.Send(vid, voteMsg{edges: es, n: nd.ctx.N()})
 		}
-
-		// Phase E inbox: acceptance at >= |C_v|/8 votes.
-		myVotes := 0
-		for _, m := range nd.ctx.NextRound() {
-			myVotes += len(m.Payload.(voteMsg).edges)
-		}
-		if isCand && 8*myVotes >= mySpanCount && mySpanCount > 0 {
+	case phAccept:
+		if nd.isCand && 8*nd.myVotes >= nd.mySpanCount && nd.mySpanCount > 0 {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.accept, iter)
+				nd.tele.bump(nd.tele.accept, nd.iter-1)
 			}
-			for _, en := range myEntries {
+			for _, en := range nd.myEntries {
 				if en.Out {
-					nd.spanOut[en.Nbr] = true
+					nd.setSpanOut(en.Nbr)
 				}
 				if en.In {
 					nd.spanIn[en.Nbr] = true
 				}
 			}
-			nd.ctx.Broadcast(dirStarMsg{entries: myEntries, r: -1, n: n})
+			nd.bcast(dirStarMsg{entries: nd.myEntries, r: -1, n: nd.ctx.N()})
 		}
+	}
+	return false
+}
 
-		// Phase F inbox: accepted stars (r == -1 marks acceptance).
-		for _, m := range nd.ctx.NextRound() {
+func (nd *directedNode) emitUncov() {
+	if !nd.sentUncovInit {
+		nd.sentUncovInit = true
+		var full []int
+		for w := range nd.outEdge {
+			if !nd.covOut[w] {
+				full = append(full, w)
+				nd.announcedUncov[w] = true
+			}
+		}
+		sort.Ints(full)
+		nd.bcast(dirUncovMsg{heads: full, full: true, n: nd.ctx.N()})
+		return
+	}
+	var dels []int
+	for w := range nd.announcedUncov {
+		if nd.covOut[w] {
+			dels = append(dels, w)
+		}
+	}
+	if len(dels) == 0 {
+		return
+	}
+	sort.Ints(dels)
+	for _, w := range dels {
+		delete(nd.announcedUncov, w)
+	}
+	nd.bcast(dirUncovMsg{heads: dels, n: nd.ctx.N()})
+}
+
+func (nd *directedNode) process(ph uPhase, inbox []dist.Message) {
+	switch ph {
+	case phSpan:
+		for _, m := range inbox {
+			p, ok := m.Payload.(dirSpanListMsg)
+			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+				continue
+			}
+			set := nd.spanOutOf[m.From]
+			if set == nil {
+				set = make(map[int]bool, len(p.outNbrs))
+				nd.spanOutOf[m.From] = set
+			}
+			for _, w := range p.outNbrs {
+				set[w] = true
+			}
+		}
+		nd.updateCoverage()
+	case phUncov:
+		for _, m := range inbox {
+			p, ok := m.Payload.(dirUncovMsg)
+			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+				continue
+			}
+			if p.full {
+				nd.uncovOf[m.From] = sliceToSet(p.heads)
+			} else {
+				set := nd.uncovOf[m.From]
+				for _, w := range p.heads {
+					delete(set, w)
+				}
+			}
+			nd.viewDirty = true
+		}
+	case phDens:
+		for _, m := range inbox {
+			p, ok := m.Payload.(densMsg)
+			if !ok {
+				continue
+			}
+			i := nd.nbrPos[m.From]
+			if !nd.alive[i] {
+				continue
+			}
+			nd.densOf[i] = dirDensVal{rho: p.rho, raw: p.raw}
+			nd.densKnown[i] = true
+			nd.hopDirty = true
+		}
+	case phMax:
+		for _, m := range inbox {
+			p, ok := m.Payload.(maxMsg)
+			if !ok {
+				continue
+			}
+			i := nd.nbrPos[m.From]
+			if !nd.alive[i] {
+				continue
+			}
+			nd.hopOf[i] = dirDensVal{rho: p.rho, raw: p.raw}
+			nd.hopKnown[i] = true
+			nd.m2Dirty = true
+		}
+	case phStar:
+		for _, m := range inbox {
+			switch p := m.Payload.(type) {
+			case dirTermMsg:
+				nd.processDeath(m.From, p.edges)
+			case dirStarMsg:
+				c := dirCandidate{in: map[int]bool{}, out: map[int]bool{}, r: p.r}
+				for _, en := range p.entries {
+					if en.In {
+						c.in[en.Nbr] = true
+					}
+					if en.Out {
+						c.out[en.Nbr] = true
+					}
+				}
+				if nd.cands == nil {
+					nd.cands = make(map[int]dirCandidate)
+				}
+				nd.cands[m.From] = c
+			}
+		}
+	case phVote:
+		for _, m := range inbox {
+			if p, ok := m.Payload.(voteMsg); ok {
+				nd.myVotes += len(p.edges)
+			}
+		}
+	case phAccept:
+		for _, m := range inbox {
 			p, ok := m.Payload.(dirStarMsg)
 			if !ok || p.r != -1 {
 				continue
@@ -378,16 +626,43 @@ func (nd *directedNode) run() {
 					nd.spanIn[m.From] = true
 				}
 				if en.In { // (me, sender) in spanner
-					nd.spanOut[m.From] = true
+					nd.setSpanOut(m.From)
 				}
 			}
 		}
 	}
 }
 
+// processDeath handles a neighbor's termination: record the direct-added
+// edges touching this vertex, then prune the sender from every fold.
+func (nd *directedNode) processDeath(from int, edges [][2]int) {
+	for _, e := range edges {
+		if e[0] == nd.me {
+			nd.setSpanOut(e[1])
+			nd.covOut[e[1]] = true
+		}
+		if e[1] == nd.me {
+			nd.spanIn[e[0]] = true
+			nd.covIn[e[0]] = true
+		}
+	}
+	i := nd.nbrPos[from]
+	nd.alive[i] = false
+	nd.densKnown[i] = false
+	nd.hopKnown[i] = false
+	delete(nd.spanOutOf, from)
+	if set := nd.uncovOf[from]; len(set) > 0 {
+		nd.viewDirty = true
+	}
+	delete(nd.uncovOf, from)
+	nd.hopDirty = true
+	nd.m2Dirty = true
+}
+
 // updateCoverage marks directed incident edges covered when in the spanner
-// or bridged by a directed 2-path through a common neighbor.
-func (nd *directedNode) updateCoverage(spanOutOf map[int]map[int]bool) {
+// or bridged by a directed 2-path through a common neighbor, using the
+// accumulated out-lists of live neighbors.
+func (nd *directedNode) updateCoverage() {
 	// Outgoing edge (me, w): covered by (me, x) ∈ spanner and (x, w) ∈
 	// spanner, learned from x's out-list.
 	for w := range nd.outEdge {
@@ -398,17 +673,15 @@ func (nd *directedNode) updateCoverage(spanOutOf map[int]map[int]bool) {
 			nd.covOut[w] = true
 			continue
 		}
-		for x, outX := range spanOutOf {
+		for x, outX := range nd.spanOutOf {
 			if nd.spanOut[x] && outX[w] {
 				nd.covOut[w] = true
 				break
 			}
 		}
 	}
-	// Incoming edge (u, me): covered by (u, x) ∈ spanner (x's... the tail
-	// u also tracks this edge as its outgoing edge; to keep both endpoint
-	// views consistent we check (u, x) from u's broadcasts and (x, me)
-	// from our own incoming spanner state.
+	// Incoming edge (u, me): covered by (u, x) ∈ spanner (from u's
+	// out-list) and (x, me) ∈ spanner (own incoming spanner state).
 	for u := range nd.inEdge {
 		if nd.covIn[u] {
 			continue
@@ -417,7 +690,7 @@ func (nd *directedNode) updateCoverage(spanOutOf map[int]map[int]bool) {
 			nd.covIn[u] = true
 			continue
 		}
-		outU := spanOutOf[u]
+		outU := nd.spanOutOf[u]
 		if outU == nil {
 			continue
 		}
@@ -431,6 +704,82 @@ func (nd *directedNode) updateCoverage(spanOutOf map[int]map[int]bool) {
 				break
 			}
 		}
+	}
+}
+
+// rebuildView reassembles the directed view from the accumulated
+// uncovered out-head sets and refreshes the footnote-7 running minimum of
+// the approximate densest-star density.
+func (nd *directedNode) rebuildView() {
+	nd.viewDirty = false
+	var hDir [][2]int
+	for _, u := range nd.nbrs {
+		if _, hasIn := nd.inEdge[u]; !hasIn {
+			continue // star cannot use (u, me): no such edge
+		}
+		set := nd.uncovOf[u]
+		if len(set) == 0 {
+			continue
+		}
+		ws := make([]int, 0, len(set))
+		for w := range set {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			if w == nd.me || !nd.nbrSet[w] {
+				continue
+			}
+			if _, hasOut := nd.outEdge[w]; hasOut {
+				hDir = append(hDir, [2]int{u, w})
+			}
+		}
+	}
+	nd.view = newDirView(nd.nbrCnt, hDir)
+	_, raw := nd.view.approxDensest(nil)
+	// Footnote 7: the approximation may fluctuate upward; use the
+	// running minimum so the rounded value never increases.
+	if nd.runMin < 0 || raw < nd.runMin {
+		nd.runMin = raw
+	}
+	raw = nd.runMin
+	rho := RoundUpPow2(raw)
+	if raw != nd.raw || rho != nd.rho {
+		nd.hopDirty = true
+	}
+	nd.raw, nd.rho = raw, rho
+}
+
+// refoldHop recomputes the 1-hop maxima (own values first, then live
+// neighbors in id order).
+func (nd *directedNode) refoldHop() {
+	nd.hopDirty = false
+	old := dirDensVal{rho: nd.hopRho, raw: nd.hopRaw}
+	nd.hopRho, nd.hopRaw = nd.rho, nd.raw
+	for i := range nd.nbrs {
+		if !nd.alive[i] || !nd.densKnown[i] {
+			continue
+		}
+		d := nd.densOf[i]
+		nd.hopRho = maxf(nd.hopRho, d.rho)
+		nd.hopRaw = maxf(nd.hopRaw, d.raw)
+	}
+	if (dirDensVal{rho: nd.hopRho, raw: nd.hopRaw}) != old {
+		nd.m2Dirty = true
+	}
+}
+
+// refoldM2 recomputes the 2-hop maxima from the accumulated 1-hop maxima.
+func (nd *directedNode) refoldM2() {
+	nd.m2Dirty = false
+	nd.m2Rho, nd.m2Raw = nd.hopRho, nd.hopRaw
+	for i := range nd.nbrs {
+		if !nd.alive[i] || !nd.hopKnown[i] {
+			continue
+		}
+		h := nd.hopOf[i]
+		nd.m2Rho = maxf(nd.m2Rho, h.rho)
+		nd.m2Raw = maxf(nd.m2Raw, h.raw)
 	}
 }
 

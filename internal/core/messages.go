@@ -6,9 +6,16 @@ import "distspanner/internal/dist"
 // follow CONGEST accounting (IDBits-sized words), which is what makes the
 // O(Δ)-word messages of this LOCAL algorithm measurably non-CONGEST
 // (Section 1.3 discusses exactly this overhead).
+//
+// State announcements are deltas: receivers accumulate them into
+// persistent per-neighbor state, so a vertex whose state did not change
+// sends nothing and a parked vertex receives nothing. Each phase has a
+// distinct payload type — that is how a vertex woken from Recv
+// re-identifies the current phase (see classifyUndirected).
 
-// spanListMsg broadcasts the sender's incident spanner edges, named by the
-// far endpoint. Phase G'.
+// spanListMsg announces the sender's newly added incident spanner edges,
+// named by the far endpoint. Phase G'; sent only when the sender's
+// spanner membership grew since its last announcement.
 type spanListMsg struct {
 	nbrs []int
 	n    int
@@ -16,20 +23,24 @@ type spanListMsg struct {
 
 func (m spanListMsg) Bits() int { return (1 + len(m.nbrs)) * dist.IDBits(m.n) }
 
-// uncovMsg broadcasts the sender's incident still-uncovered target edges,
-// named by the far endpoint. Phase A.
+// uncovMsg announces the sender's incident uncovered target edges, named
+// by the far endpoint: the full list once at start-up (full=true), then
+// only removals as edges become covered. Phase A.
 type uncovMsg struct {
 	nbrs []int
+	full bool
 	n    int
 }
 
 func (m uncovMsg) Bits() int { return (1 + len(m.nbrs)) * dist.IDBits(m.n) }
 
-// densMsg broadcasts the sender's rounded density, raw density, and the
+// densMsg announces the sender's rounded density, raw density, and the
 // maximum weight among its incident edges (used by the weighted variant's
-// termination rule). Phase B. In the unweighted algorithm the raw density
-// is the exact rational num/den (2-spanned count over star size), which is
-// what the CONGEST adapter ships as two words.
+// termination rule). Phase B; sent when the density changed (and by
+// everyone in iteration 0, seeding the accumulated state). In the
+// unweighted algorithm the raw density is the exact rational num/den
+// (2-spanned count over star size), which is what the CONGEST adapter
+// ships as two words.
 type densMsg struct {
 	rho, raw, wmax float64
 	num, den       int
@@ -37,8 +48,9 @@ type densMsg struct {
 
 func (densMsg) Bits() int { return 3 * 64 }
 
-// maxMsg broadcasts 1-hop maxima of the densMsg fields, so that receivers
-// learn 2-hop maxima. Phase C. num/den carry the maximizing rational.
+// maxMsg announces 1-hop maxima of the densMsg fields, so that receivers
+// learn 2-hop maxima. Phase C; sent when the maxima changed (and by
+// everyone in iteration 0). num/den carry the maximizing rational.
 type maxMsg struct {
 	rho, raw, wmax float64
 	num, den       int
@@ -57,7 +69,9 @@ type starMsg struct {
 func (m starMsg) Bits() int { return (1+len(m.star))*dist.IDBits(m.n) + 4*dist.IDBits(m.n) }
 
 // termMsg announces that the sender terminates and directly adds the listed
-// incident edges (by far endpoint) to the spanner. Phase D.
+// incident edges (by far endpoint) to the spanner. Phase D. It doubles as
+// the death notice: receivers drop the sender from every accumulated fold
+// and prune it from their broadcast lists.
 type termMsg struct {
 	added []int
 	n     int

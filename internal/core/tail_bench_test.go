@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/gen"
+	"distspanner/internal/mds"
+)
+
+// Real-algorithm tail benchmarks: the spanner/MDS runs whose late rounds
+// leave most vertices parked or retired — the regime the activity-aware
+// ports (Recv-parking, delta messaging) target, measured head-to-head
+// across the two scheduling modes. Custom metrics report rounds/sec plus
+// the per-round activity means, so the bench artifact records the
+// activity profile alongside the throughput trajectory.
+
+// reportTail attaches the shared tail metrics.
+func reportTail(b *testing.B, s dist.Stats) {
+	b.ReportMetric(float64(s.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	if s.Rounds > 0 {
+		b.ReportMetric(float64(s.ActiveSteps)/float64(s.Rounds), "meanActive")
+		b.ReportMetric(float64(s.ParkedSteps)/float64(s.Rounds), "meanParked")
+	}
+}
+
+// BenchmarkTwoSpannerTail runs the weighted 2-spanner on a core+fringe
+// instance at n >= 4096 under both schedulers.
+func BenchmarkTwoSpannerTail(b *testing.B) {
+	for _, n := range []int{4096, 8192} {
+		g := tailInstance(512, n, 3)
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				var stats dist.Stats
+				for i := 0; i < b.N; i++ {
+					res, err := TwoSpanner(g, Options{Seed: 1, ExecMode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = res.Stats
+				}
+				b.StopTimer()
+				reportTail(b, stats)
+			})
+		}
+	}
+}
+
+// BenchmarkTwoSpannerDeepTail stretches the tail with the NoRounding
+// ablation (exact-maximum candidacy resolves one small region at a time):
+// hundreds of iterations whose rounds touch a few hundred vertices while
+// thousands stay parked. Smaller n keeps it benchable; the activity
+// profile, not the instance size, is the point.
+func BenchmarkTwoSpannerDeepTail(b *testing.B) {
+	g := tailInstance(96, 1024, 3)
+	for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+		b.Run(fmt.Sprintf("n=%d/mode=%s", g.N(), mode), func(b *testing.B) {
+			var stats dist.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := TwoSpanner(g, Options{Seed: 1, ExecMode: mode, NoRounding: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = res.Stats
+			}
+			b.StopTimer()
+			reportTail(b, stats)
+		})
+	}
+}
+
+// BenchmarkMDSTail runs the CONGEST MDS on a sparse G(n, 8/n) where
+// domination spreads in waves and the covered interior halts or parks.
+func BenchmarkMDSTail(b *testing.B) {
+	for _, n := range []int{4096, 8192} {
+		g := gen.ConnectedGNP(n, 8.0/float64(n), 1)
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				var stats dist.Stats
+				for i := 0; i < b.N; i++ {
+					res, err := mds.Run(g, mds.Options{Seed: 1, ExecMode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = res.Stats
+				}
+				b.StopTimer()
+				reportTail(b, stats)
+			})
+		}
+	}
+}

@@ -22,6 +22,9 @@ type Options struct {
 	// event-driven); the zero value auto-switches on network size.
 	// Results are identical in every mode — only wall-clock cost differs.
 	ExecMode dist.Mode
+	// RoundHook, when non-nil, receives the engine's per-round activity
+	// snapshots (see dist.Config.OnRound) — the activity curve of the run.
+	RoundHook func(dist.RoundActivity)
 
 	// VoteDenominator is an ablation knob for the acceptance rule: a
 	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
@@ -66,10 +69,13 @@ type Result struct {
 	Spanner *graph.EdgeSet
 	// Cost is the spanner's total weight (edge count when unweighted).
 	Cost float64
-	// Stats carries the engine's round/message/bit measurements.
+	// Stats carries the engine's round/message/bit measurements, including
+	// the ActiveSteps/ParkedSteps activity profile.
 	Stats dist.Stats
 	// Iterations is the maximum number of algorithm iterations any vertex
-	// executed (each iteration is a constant number of rounds).
+	// executed (each iteration is a constant number of rounds). Parked
+	// vertices skip iterations, so this counts the longest active
+	// participation.
 	Iterations int
 	// PerIteration is the telemetry of each iteration, in order.
 	PerIteration []IterationStat
@@ -199,7 +205,10 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 		nd.tele = tele
 		nd.run()
 	}
-	stats, err := dist.Run(dist.Config{Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds, Mode: opts.ExecMode}, proc)
+	stats, err := dist.Run(dist.Config{
+		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Mode: opts.ExecMode, OnRound: opts.RoundHook,
+	}, proc)
 	if err != nil {
 		return nil, err
 	}
@@ -227,15 +236,71 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 
 // roundCtx is the per-vertex network surface the protocol needs. It is
 // satisfied by *dist.Ctx (the LOCAL implementation) and by *congestCtx
-// (the fragmenting CONGEST adapter of Section 1.3's discussion).
+// (the fragmenting CONGEST adapter of Section 1.3's discussion). Recv
+// parks the vertex until a delivery arrives — in the CONGEST adapter it
+// parks across whole logical-round windows.
 type roundCtx interface {
 	ID() int
 	N() int
 	Neighbors() []int
 	Rand() *rand.Rand
 	Send(to int, p dist.Payload)
-	Broadcast(p dist.Payload)
 	NextRound() []dist.Message
+	Recv() ([]dist.Message, bool)
+}
+
+// uPhase indexes the seven rounds of one iteration of the undirected
+// protocol. Each phase has disjoint payload types, which is how a vertex
+// woken from Recv re-identifies the network's current phase.
+type uPhase int
+
+const (
+	phSpan   uPhase = iota + 1 // round 1 (G'): spanListMsg deltas
+	phUncov                    // round 2 (A): uncovMsg init/removals
+	phDens                     // round 3 (B): densMsg deltas
+	phMax                      // round 4 (C): maxMsg deltas
+	phStar                     // round 5 (D): starMsg / termMsg
+	phVote                     // round 6 (E): voteMsg (candidates only)
+	phAccept                   // round 7 (F): acceptMsg
+)
+
+// classifyUndirected maps a wake inbox to its phase. One inbox is always
+// one phase: every sender is phase-aligned and each phase's payload types
+// are disjoint.
+func classifyUndirected(msgs []dist.Message) uPhase {
+	switch msgs[0].Payload.(type) {
+	case spanListMsg:
+		return phSpan
+	case uncovMsg:
+		return phUncov
+	case densMsg:
+		return phDens
+	case maxMsg:
+		return phMax
+	case starMsg, termMsg:
+		return phStar
+	case voteMsg:
+		return phVote
+	case acceptMsg:
+		return phAccept
+	}
+	panic("core: unclassifiable wake payload")
+}
+
+// densVal is a neighbor's last announced density or 1-hop maximum: the
+// exact rational the CONGEST adapter ships, plus the weight maximum
+// riding along for the weighted termination rule (the static incident
+// maximum in density announcements, the 1-hop fold in maxima).
+type densVal struct {
+	raw      float64
+	num, den int
+	wmax     float64
+}
+
+// candidate is one announced star this iteration.
+type candidate struct {
+	star map[int]bool
+	r    int64
 }
 
 // undirectedNode is the per-vertex state of the protocol.
@@ -247,7 +312,7 @@ type undirectedNode struct {
 	outs      [][]int
 	iters     []int
 	fallbacks *atomic.Int64
-	tele      *telemetry // may be nil (the CONGEST path sets its own)
+	tele      *telemetry // may be nil (tests construct nodes directly)
 
 	me      int
 	nbrs    []int // sorted neighbor ids
@@ -255,119 +320,256 @@ type undirectedNode struct {
 	edgeOf  map[int]int // neighbor id -> incident edge index
 	covered map[int]bool
 	inSpan  map[int]bool
+	myWmax  float64
 
+	// Monotone star-choice state (Section 4.1).
 	wasCand  bool
 	lastRho  float64
 	prevStar []int // neighbor ids of last chosen star (selectable + free)
+
+	// Accumulated per-neighbor state, kept in sync by deltas. A live
+	// neighbor's entry always equals what the classic all-broadcast
+	// execution would have received from it this iteration. Scalar state
+	// is indexed by the neighbor's position in nbrs so the folds and
+	// broadcasts scan slices; only inbox processing pays an id->position
+	// lookup.
+	nbrPos    map[int]int
+	alive     []bool
+	spanOf    map[int]map[int]bool // live neighbor -> its incident spanner edges
+	uncovOf   map[int]map[int]bool // live neighbor -> its uncovered target edges
+	densOf    []densVal
+	densKnown []bool
+	hopOf     []densVal
+	hopKnown  []bool
+
+	// Own derived quantities and the change-tracking behind the deltas.
+	pendingSpan    []int // inSpan additions not yet announced (round 1)
+	announcedUncov map[int]bool
+	sentUncovInit  bool
+	view           *localView
+	viewDirty      bool // uncovOf changed since the view was built
+	hopDirty       bool // own density, a neighbor density, or liveness changed
+	m2Dirty        bool // own 1-hop max, a neighbor 1-hop max, or liveness changed
+	raw            float64
+	num, den       int
+	rho            float64
+	densSent       bool
+	lastDens       densVal
+	hopRaw         float64
+	hopNum, hopDen int
+	hopW           float64
+	hopSent        bool
+	lastHop        densVal
+	m2Raw, m2Rho   float64
+	m2W            float64
+
+	// Per-iteration scratch.
+	iter        int
+	isCand      bool
+	myStar      []int
+	mySpanCount int
+	cands       map[int]candidate
+	myVotes     int
 }
 
 func newUndirectedNode(ctx roundCtx, g *graph.Graph, v variant, outs [][]int, iters []int, fb *atomic.Int64) *undirectedNode {
 	me := ctx.ID()
 	nd := &undirectedNode{
 		ctx: ctx, g: g, v: v, outs: outs, iters: iters, fallbacks: fb,
-		me:      me,
-		nbrs:    ctx.Neighbors(),
-		nbrSet:  make(map[int]bool),
-		edgeOf:  make(map[int]int),
-		covered: make(map[int]bool),
-		inSpan:  make(map[int]bool),
+		me:             me,
+		nbrs:           ctx.Neighbors(),
+		nbrSet:         make(map[int]bool),
+		edgeOf:         make(map[int]int),
+		covered:        make(map[int]bool),
+		inSpan:         make(map[int]bool),
+		nbrPos:         make(map[int]int),
+		spanOf:         make(map[int]map[int]bool),
+		uncovOf:        make(map[int]map[int]bool),
+		announcedUncov: make(map[int]bool),
+		viewDirty:      true,
+		hopDirty:       true,
+		m2Dirty:        true,
 	}
-	for _, u := range nd.nbrs {
+	deg := len(nd.nbrs)
+	nd.alive = make([]bool, deg)
+	nd.densOf = make([]densVal, deg)
+	nd.densKnown = make([]bool, deg)
+	nd.hopOf = make([]densVal, deg)
+	nd.hopKnown = make([]bool, deg)
+	for i, u := range nd.nbrs {
 		idx, ok := g.EdgeIndex(me, u)
 		if !ok {
 			panic("core: neighbor without edge")
 		}
 		nd.nbrSet[u] = true
 		nd.edgeOf[u] = idx
+		nd.nbrPos[u] = i
+		nd.alive[i] = true
 		if !v.target(idx) {
 			// Non-target edges never need covering.
 			nd.covered[u] = true
 		}
 		if g.Weighted() && g.Weight(idx) == 0 && v.starEdge(idx) {
 			// Weighted pre-pass: all zero-weight edges join the spanner.
-			nd.inSpan[u] = true
+			nd.setInSpan(u)
 		}
+		nd.myWmax = maxf(nd.myWmax, g.Weight(idx))
 	}
 	return nd
 }
 
+// setInSpan records edge (me, u) as a spanner member and queues the
+// round-1 delta announcing it.
+func (nd *undirectedNode) setInSpan(u int) {
+	if !nd.inSpan[u] {
+		nd.inSpan[u] = true
+		nd.pendingSpan = append(nd.pendingSpan, u)
+	}
+}
+
+// bcast sends p to every live neighbor: terminated vertices are pruned
+// from all broadcasts.
+func (nd *undirectedNode) bcast(p dist.Payload) {
+	for i, u := range nd.nbrs {
+		if nd.alive[i] {
+			nd.ctx.Send(u, p)
+		}
+	}
+}
+
+// parkable reports whether this vertex owes the network nothing in the
+// coming iteration: no pending deltas, every fold clean, and no
+// candidacy. Such a vertex parks in Recv; any input that could change its
+// answers arrives as a delivery and wakes it into the right phase.
+func (nd *undirectedNode) parkable() bool {
+	if len(nd.pendingSpan) > 0 || nd.viewDirty || nd.hopDirty || nd.m2Dirty {
+		return false
+	}
+	for u := range nd.announcedUncov {
+		if nd.covered[u] {
+			return false // owes an uncovered-list removal
+		}
+	}
+	// Candidacy is a pure function of the clean folds.
+	return !(nd.rho > 0 && nd.rho >= nd.m2Rho && nd.v.candidateOK(nd.raw))
+}
+
 func (nd *undirectedNode) run() {
-	n := nd.ctx.N()
-	for iter := 0; ; iter++ {
-		nd.iters[nd.me] = iter
-
-		// Phase G': exchange incident spanner lists, update coverage.
-		nd.ctx.Broadcast(spanListMsg{nbrs: setToSorted(nd.inSpan), n: n})
-		spanOf := make(map[int]map[int]bool)
-		for _, m := range nd.ctx.NextRound() {
-			spanOf[m.From] = sliceToSet(m.Payload.(spanListMsg).nbrs)
-		}
-		nd.updateCoverage(spanOf)
-
-		// Phase A: exchange uncovered incident target edges; build H_v.
-		uncov := nd.uncoveredNbrs()
-		nd.ctx.Broadcast(uncovMsg{nbrs: uncov, n: n})
-		var hEdges [][2]int
-		for _, m := range nd.ctx.NextRound() {
-			u := m.From
-			for _, w := range m.Payload.(uncovMsg).nbrs {
-				if nd.nbrSet[w] && u < w {
-					hEdges = append(hEdges, [2]int{u, w})
-				}
+	for {
+		start := phSpan
+		var wake []dist.Message
+		if nd.iter > 0 && nd.parkable() {
+			// Parked iterations are not candidate iterations: the
+			// monotone-star continuation resets exactly as it would have
+			// in the spinning execution.
+			nd.wasCand, nd.prevStar = false, nil
+			msgs, ok := nd.ctx.Recv()
+			if !ok {
+				nd.finalizeQuiesced()
+				return
 			}
+			start = classifyUndirected(msgs)
+			wake = msgs
 		}
-		view := nd.buildView(hEdges)
-		sel, _ := view.densestStar(nil)
-		raw, num, den := 0.0, 0, 1
-		if sel != nil {
-			if s, c := view.starValue(sel); c > 0 {
-				// The canonical raw density is this division; in the
-				// unweighted case (s, c) are exact integers, which the
-				// CONGEST adapter ships verbatim so every vertex computes
-				// bit-identical values.
-				raw = s / c
-				num, den = int(s+0.5), int(c+0.5)
+		nd.iters[nd.me] = nd.iter
+		nd.iter++
+		if nd.iteration(start, wake) {
+			return
+		}
+	}
+}
+
+// finalizeQuiesced handles the quiescence release (Recv ok=false): no
+// future round can cover anything, so the remaining uncovered incident
+// target edges are added directly — the same direct-add the paper's
+// termination step performs — and the vertex outputs and halts. With the
+// paper's termination rule this is a safety net: a parked vertex's
+// 2-neighborhood always contains an active candidate until the vertex
+// itself becomes terminal, so runs normally end by explicit termination.
+func (nd *undirectedNode) finalizeQuiesced() {
+	for _, u := range nd.nbrs {
+		if !nd.covered[u] && nd.v.directAdd(nd.edgeOf[u]) {
+			nd.inSpan[u] = true
+			nd.covered[u] = true
+		}
+	}
+	if nd.tele != nil {
+		it := nd.iter
+		if it > 0 {
+			it--
+		}
+		nd.tele.bump(nd.tele.term, it)
+	}
+	nd.emitOutput()
+}
+
+// iteration executes one iteration from phase start (start > phSpan when
+// resuming from a parked wake, whose pre-delivered inbox is wake). It
+// returns true when the vertex terminated.
+func (nd *undirectedNode) iteration(start uPhase, wake []dist.Message) bool {
+	nd.isCand = false
+	nd.myStar = nil
+	nd.mySpanCount = 0
+	nd.cands = nil
+	nd.myVotes = 0
+	for ph := start; ph <= phAccept; ph++ {
+		var inbox []dist.Message
+		if ph == start && wake != nil {
+			inbox = wake // woken into this phase: inbox already delivered
+		} else {
+			if nd.emit(ph) {
+				return true // terminal: announced and flushed in emit
 			}
+			inbox = nd.ctx.NextRound()
 		}
-		rho := RoundUpPow2(raw)
-		if nd.opts.NoRounding {
-			rho = raw
-		}
+		nd.process(ph, inbox)
+	}
+	return false
+}
 
-		// Phase B: broadcast densities; compute 1-hop maxima. Rounding is
-		// monotone, so the max rounded density is the rounding of the max
-		// raw density and need not travel separately.
-		myWmax := nd.incidentWmax()
-		nd.ctx.Broadcast(densMsg{rho: rho, raw: raw, wmax: myWmax, num: num, den: den})
-		hopRaw, hopW := raw, myWmax
-		hopNum, hopDen := num, den
-		for _, m := range nd.ctx.NextRound() {
-			d := m.Payload.(densMsg)
-			if d.raw > hopRaw {
-				hopRaw, hopNum, hopDen = d.raw, d.num, d.den
-			}
-			hopW = maxf(hopW, d.wmax)
+// emit queues the sends of phase ph (committed by the blocking call that
+// returns ph's inbox) and performs the fold recomputations scheduled at
+// ph. It returns true when the vertex terminated (phStar only).
+func (nd *undirectedNode) emit(ph uPhase) bool {
+	switch ph {
+	case phSpan:
+		if len(nd.pendingSpan) > 0 {
+			sort.Ints(nd.pendingSpan)
+			nd.bcast(spanListMsg{nbrs: nd.pendingSpan, n: nd.ctx.N()})
+			nd.pendingSpan = nil
 		}
-
-		// Phase C: broadcast 1-hop maxima; compute 2-hop maxima.
-		nd.ctx.Broadcast(maxMsg{rho: RoundUpPow2(hopRaw), raw: hopRaw, wmax: hopW, num: hopNum, den: hopDen})
-		m2Raw, m2W := hopRaw, hopW
-		for _, m := range nd.ctx.NextRound() {
-			d := m.Payload.(maxMsg)
-			m2Raw = maxf(m2Raw, d.raw)
-			m2W = maxf(m2W, d.wmax)
+	case phUncov:
+		nd.emitUncov()
+	case phDens:
+		if nd.viewDirty {
+			nd.rebuildView()
 		}
-		m2Rho := RoundUpPow2(m2Raw)
-		if nd.opts.NoRounding {
-			m2Rho = m2Raw
+		dv := densVal{raw: nd.raw, num: nd.num, den: nd.den, wmax: nd.myWmax}
+		if !nd.densSent || dv != nd.lastDens {
+			nd.bcast(densMsg{rho: nd.rho, raw: nd.raw, wmax: nd.myWmax, num: nd.num, den: nd.den})
+			nd.densSent, nd.lastDens = true, dv
 		}
-
+	case phMax:
+		if nd.hopDirty {
+			nd.refoldHop()
+		}
+		hv := densVal{raw: nd.hopRaw, num: nd.hopNum, den: nd.hopDen, wmax: nd.hopW}
+		if !nd.hopSent || hv != nd.lastHop {
+			nd.bcast(maxMsg{rho: RoundUpPow2(nd.hopRaw), raw: nd.hopRaw, wmax: nd.hopW, num: nd.hopNum, den: nd.hopDen})
+			nd.hopSent, nd.lastHop = true, hv
+		}
+	case phStar:
+		if nd.m2Dirty {
+			nd.refoldM2()
+		}
 		// Termination (paper step 7): the maximal density in the
-		// 2-neighborhood fell below the useful threshold. Add the remaining
-		// uncovered incident edges directly and halt.
-		if nd.v.terminal(m2Raw, m2W) {
+		// 2-neighborhood fell below the useful threshold. Add the
+		// remaining uncovered incident edges directly and halt; the
+		// termMsg doubles as the death notice that prunes this vertex
+		// from its peers' broadcasts.
+		if nd.v.terminal(nd.m2Raw, nd.m2W) {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.term, iter)
+				nd.tele.bump(nd.tele.term, nd.iter-1)
 			}
 			var added []int
 			for _, u := range nd.nbrs {
@@ -377,68 +579,45 @@ func (nd *undirectedNode) run() {
 					added = append(added, u)
 				}
 			}
-			nd.ctx.Broadcast(termMsg{added: added, n: n})
-			nd.ctx.NextRound() // flush phase D
+			nd.bcast(termMsg{added: added, n: nd.ctx.N()})
+			nd.ctx.NextRound() // flush the announcement
 			nd.emitOutput()
-			return
+			return true
 		}
-
-		// Phase D: candidates choose and announce stars.
-		isCand := rho > 0 && rho >= m2Rho && nd.v.candidateOK(raw)
-		var myStar []int
-		mySpanCount := 0
-		if isCand {
+		// Candidacy and star choice (Section 4.1).
+		nd.isCand = nd.rho > 0 && nd.rho >= nd.m2Rho && nd.v.candidateOK(nd.raw)
+		if nd.isCand {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.cand, iter)
+				nd.tele.bump(nd.tele.cand, nd.iter-1)
 			}
 			var prev []bool
-			if !nd.opts.FreshStars && nd.wasCand && nd.lastRho == rho && nd.prevStar != nil {
-				prev = view.maskFromIDs(nd.prevStar)
+			if !nd.opts.FreshStars && nd.wasCand && nd.lastRho == nd.rho && nd.prevStar != nil {
+				prev = nd.view.maskFromIDs(nd.prevStar)
 			}
-			sel, fb := view.chooseStar(rho, prev)
+			sel, fb := nd.view.chooseStar(nd.rho, prev)
 			if fb {
 				nd.fallbacks.Add(1)
 			}
-			myStar = view.starNeighborIDs(sel)
-			spanned, _ := view.starValue(sel)
-			mySpanCount = int(spanned + 0.5)
-			nd.ctx.Broadcast(starMsg{star: myStar, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: n})
-			nd.wasCand, nd.lastRho = true, rho
-			nd.prevStar = myStar
+			nd.myStar = nd.view.starNeighborIDs(sel)
+			spanned, _ := nd.view.starValue(sel)
+			nd.mySpanCount = int(spanned + 0.5)
+			nd.bcast(starMsg{star: nd.myStar, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()})
+			nd.wasCand, nd.lastRho = true, nd.rho
+			nd.prevStar = nd.myStar
 		} else {
 			nd.wasCand = false
 			nd.prevStar = nil
 		}
-
-		// Phase D inbox: neighbor terminations and candidate stars.
-		type candidate struct {
-			star map[int]bool
-			r    int64
-		}
-		cands := make(map[int]candidate)
-		for _, m := range nd.ctx.NextRound() {
-			switch p := m.Payload.(type) {
-			case termMsg:
-				for _, w := range p.added {
-					if w == nd.me {
-						nd.inSpan[m.From] = true
-						nd.covered[m.From] = true
-					}
-				}
-			case starMsg:
-				cands[m.From] = candidate{star: sliceToSet(p.star), r: p.r}
-			}
-		}
-
-		// Phase E: each owned uncovered edge votes for the first candidate
-		// (by (r, id)) that 2-spans it.
+	case phVote:
+		// Each owned uncovered edge votes for the first candidate (by
+		// (r, id)) that 2-spans it.
 		votes := make(map[int][][2]int)
 		for _, u := range nd.nbrs {
 			if nd.covered[u] || nd.me > u {
 				continue // not an owner, or nothing to vote for
 			}
 			bestV, bestR := -1, int64(0)
-			for vid, c := range cands {
+			for vid, c := range nd.cands {
 				if !c.star[nd.me] || !c.star[u] {
 					continue
 				}
@@ -451,42 +630,179 @@ func (nd *undirectedNode) run() {
 			}
 		}
 		for vid, es := range votes {
-			nd.ctx.Send(vid, voteMsg{edges: es, n: n})
+			nd.ctx.Send(vid, voteMsg{edges: es, n: nd.ctx.N()})
 		}
-
-		// Phase E inbox: my votes (if candidate); accept if >= |C_v|/8.
-		myVotes := 0
-		for _, m := range nd.ctx.NextRound() {
-			myVotes += len(m.Payload.(voteMsg).edges)
-		}
-		if isCand && nd.opts.voteDenominator()*myVotes >= mySpanCount && mySpanCount > 0 {
+	case phAccept:
+		if nd.isCand && nd.opts.voteDenominator()*nd.myVotes >= nd.mySpanCount && nd.mySpanCount > 0 {
 			if nd.tele != nil {
-				nd.tele.bump(nd.tele.accept, iter)
+				nd.tele.bump(nd.tele.accept, nd.iter-1)
 			}
-			for _, u := range myStar {
-				nd.inSpan[u] = true
+			for _, u := range nd.myStar {
+				nd.setInSpan(u)
 			}
-			nd.ctx.Broadcast(acceptMsg{star: myStar, n: n})
+			nd.bcast(acceptMsg{star: nd.myStar, n: nd.ctx.N()})
 		}
+	}
+	return false
+}
 
-		// Phase F inbox: accepted stars of neighbors.
-		for _, m := range nd.ctx.NextRound() {
+// emitUncov announces the uncovered incident target edges: the full list
+// once at start-up, removals afterwards. Receivers maintain the
+// accumulated set, so the network-wide picture matches the classic
+// full-rebroadcast execution exactly.
+func (nd *undirectedNode) emitUncov() {
+	if !nd.sentUncovInit {
+		nd.sentUncovInit = true
+		var full []int
+		for _, u := range nd.nbrs {
+			if !nd.covered[u] {
+				full = append(full, u)
+				nd.announcedUncov[u] = true
+			}
+		}
+		nd.bcast(uncovMsg{nbrs: full, full: true, n: nd.ctx.N()})
+		return
+	}
+	var dels []int
+	for u := range nd.announcedUncov {
+		if nd.covered[u] {
+			dels = append(dels, u)
+		}
+	}
+	if len(dels) == 0 {
+		return
+	}
+	sort.Ints(dels)
+	for _, u := range dels {
+		delete(nd.announcedUncov, u)
+	}
+	nd.bcast(uncovMsg{nbrs: dels, n: nd.ctx.N()})
+}
+
+// process consumes the inbox of phase ph.
+func (nd *undirectedNode) process(ph uPhase, inbox []dist.Message) {
+	switch ph {
+	case phSpan:
+		for _, m := range inbox {
+			p, ok := m.Payload.(spanListMsg)
+			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+				continue
+			}
+			set := nd.spanOf[m.From]
+			if set == nil {
+				set = make(map[int]bool, len(p.nbrs))
+				nd.spanOf[m.From] = set
+			}
+			for _, w := range p.nbrs {
+				set[w] = true
+			}
+		}
+		nd.updateCoverage()
+	case phUncov:
+		for _, m := range inbox {
+			p, ok := m.Payload.(uncovMsg)
+			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+				continue
+			}
+			if p.full {
+				nd.uncovOf[m.From] = sliceToSet(p.nbrs)
+			} else {
+				set := nd.uncovOf[m.From]
+				for _, w := range p.nbrs {
+					delete(set, w)
+				}
+			}
+			nd.viewDirty = true
+		}
+	case phDens:
+		for _, m := range inbox {
+			p, ok := m.Payload.(densMsg)
+			if !ok {
+				continue
+			}
+			i := nd.nbrPos[m.From]
+			if !nd.alive[i] {
+				continue
+			}
+			nd.densOf[i] = densVal{raw: p.raw, num: p.num, den: p.den, wmax: p.wmax}
+			nd.densKnown[i] = true
+			nd.hopDirty = true
+		}
+	case phMax:
+		for _, m := range inbox {
+			p, ok := m.Payload.(maxMsg)
+			if !ok {
+				continue
+			}
+			i := nd.nbrPos[m.From]
+			if !nd.alive[i] {
+				continue
+			}
+			nd.hopOf[i] = densVal{raw: p.raw, num: p.num, den: p.den, wmax: p.wmax}
+			nd.hopKnown[i] = true
+			nd.m2Dirty = true
+		}
+	case phStar:
+		for _, m := range inbox {
+			switch p := m.Payload.(type) {
+			case termMsg:
+				nd.processDeath(m.From, p.added)
+			case starMsg:
+				if nd.cands == nil {
+					nd.cands = make(map[int]candidate)
+				}
+				nd.cands[m.From] = candidate{star: sliceToSet(p.star), r: p.r}
+			}
+		}
+	case phVote:
+		for _, m := range inbox {
+			if p, ok := m.Payload.(voteMsg); ok {
+				nd.myVotes += len(p.edges)
+			}
+		}
+	case phAccept:
+		for _, m := range inbox {
 			p, ok := m.Payload.(acceptMsg)
 			if !ok {
 				continue
 			}
 			for _, w := range p.star {
 				if w == nd.me {
-					nd.inSpan[m.From] = true
+					nd.setInSpan(m.From)
 				}
 			}
 		}
 	}
 }
 
+// processDeath handles a neighbor's termination announcement: record the
+// direct-added edges naming this vertex, then prune the sender from every
+// accumulated fold — exactly the information the classic execution loses
+// when a terminated vertex stops broadcasting.
+func (nd *undirectedNode) processDeath(from int, added []int) {
+	for _, w := range added {
+		if w == nd.me {
+			nd.setInSpan(from)
+			nd.covered[from] = true
+		}
+	}
+	i := nd.nbrPos[from]
+	nd.alive[i] = false
+	nd.densKnown[i] = false
+	nd.hopKnown[i] = false
+	delete(nd.spanOf, from)
+	if set := nd.uncovOf[from]; len(set) > 0 {
+		nd.viewDirty = true
+	}
+	delete(nd.uncovOf, from)
+	nd.hopDirty = true
+	nd.m2Dirty = true
+}
+
 // updateCoverage marks incident target edges covered when the spanner
-// contains them or a 2-path around them.
-func (nd *undirectedNode) updateCoverage(spanOf map[int]map[int]bool) {
+// contains them or a 2-path around them through a live neighbor's
+// announced spanner edges.
+func (nd *undirectedNode) updateCoverage() {
 	for _, u := range nd.nbrs {
 		if nd.covered[u] {
 			continue
@@ -495,7 +811,7 @@ func (nd *undirectedNode) updateCoverage(spanOf map[int]map[int]bool) {
 			nd.covered[u] = true
 			continue
 		}
-		for x, viaX := range spanOf {
+		for x, viaX := range nd.spanOf {
 			if nd.inSpan[x] && viaX[u] {
 				nd.covered[u] = true
 				break
@@ -504,14 +820,97 @@ func (nd *undirectedNode) updateCoverage(spanOf map[int]map[int]bool) {
 	}
 }
 
-func (nd *undirectedNode) uncoveredNbrs() []int {
-	var out []int
+// rebuildView reassembles the localView from the accumulated uncovered
+// sets and recomputes the densest-star density (the expensive flow-oracle
+// step — now run only when an input actually changed).
+func (nd *undirectedNode) rebuildView() {
+	nd.viewDirty = false
+	nd.view = nd.buildView(nd.hEdges())
+	sel, _ := nd.view.densestStar(nil)
+	raw, num, den := 0.0, 0, 1
+	if sel != nil {
+		if s, c := nd.view.starValue(sel); c > 0 {
+			// The canonical raw density is this division; in the
+			// unweighted case (s, c) are exact integers, which the
+			// CONGEST adapter ships verbatim so every vertex computes
+			// bit-identical values.
+			raw = s / c
+			num, den = int(s+0.5), int(c+0.5)
+		}
+	}
+	if raw != nd.raw || num != nd.num || den != nd.den {
+		nd.hopDirty = true
+	}
+	nd.raw, nd.num, nd.den = raw, num, den
+	nd.rho = RoundUpPow2(raw)
+	if nd.opts.NoRounding {
+		nd.rho = raw
+	}
+}
+
+// hEdges lists the uncovered 2-spannable edges between neighbors, in the
+// same (sender ascending, endpoint ascending, owner-side only) order the
+// classic execution reads them off its round-2 inbox.
+func (nd *undirectedNode) hEdges() [][2]int {
+	var out [][2]int
 	for _, u := range nd.nbrs {
-		if !nd.covered[u] {
-			out = append(out, u)
+		set := nd.uncovOf[u]
+		if len(set) == 0 {
+			continue
+		}
+		ws := make([]int, 0, len(set))
+		for w := range set {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			if nd.nbrSet[w] && u < w {
+				out = append(out, [2]int{u, w})
+			}
 		}
 	}
 	return out
+}
+
+// refoldHop recomputes the 1-hop maxima (own values first, then live
+// neighbors in id order — the fold the classic execution performs on its
+// round-3 inbox).
+func (nd *undirectedNode) refoldHop() {
+	nd.hopDirty = false
+	oldHop := densVal{raw: nd.hopRaw, num: nd.hopNum, den: nd.hopDen, wmax: nd.hopW}
+	nd.hopRaw, nd.hopNum, nd.hopDen = nd.raw, nd.num, nd.den
+	nd.hopW = nd.myWmax
+	for i := range nd.nbrs {
+		if !nd.alive[i] || !nd.densKnown[i] {
+			continue
+		}
+		d := nd.densOf[i]
+		if d.raw > nd.hopRaw {
+			nd.hopRaw, nd.hopNum, nd.hopDen = d.raw, d.num, d.den
+		}
+		nd.hopW = maxf(nd.hopW, d.wmax)
+	}
+	if (densVal{raw: nd.hopRaw, num: nd.hopNum, den: nd.hopDen, wmax: nd.hopW}) != oldHop {
+		nd.m2Dirty = true
+	}
+}
+
+// refoldM2 recomputes the 2-hop maxima from the accumulated 1-hop maxima.
+func (nd *undirectedNode) refoldM2() {
+	nd.m2Dirty = false
+	nd.m2Raw, nd.m2W = nd.hopRaw, nd.hopW
+	for i := range nd.nbrs {
+		if !nd.alive[i] || !nd.hopKnown[i] {
+			continue
+		}
+		h := nd.hopOf[i]
+		nd.m2Raw = maxf(nd.m2Raw, h.raw)
+		nd.m2W = maxf(nd.m2W, h.wmax)
+	}
+	nd.m2Rho = RoundUpPow2(nd.m2Raw)
+	if nd.opts.NoRounding {
+		nd.m2Rho = nd.m2Raw
+	}
 }
 
 // buildView assembles the localView: selectable star edges with their
@@ -532,16 +931,6 @@ func (nd *undirectedNode) buildView(hEdges [][2]int) *localView {
 		}
 	}
 	return newLocalView(selectable, free, hEdges)
-}
-
-// incidentWmax returns the largest weight among incident edges (1 for
-// unweighted graphs), feeding the weighted termination rule.
-func (nd *undirectedNode) incidentWmax() float64 {
-	w := 0.0
-	for _, u := range nd.nbrs {
-		w = maxf(w, nd.g.Weight(nd.edgeOf[u]))
-	}
-	return w
 }
 
 func (nd *undirectedNode) emitOutput() {

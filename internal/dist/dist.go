@@ -28,6 +28,11 @@
 //   - With Config.CutSide set, Stats.CutBits additionally totals the bits
 //     crossing the two-party cut, which is what converts runs on the
 //     lower-bound constructions into communication-complexity arguments.
+//   - Stats.ActiveSteps, Stats.ParkedSteps, and Stats.PeakActive record
+//     the run's activity profile: how many vertices each completed round
+//     actually ran, and how many sat parked in Recv. Config.OnRound
+//     exposes the full per-round curve. Like every other statistic they
+//     are identical across execution modes.
 //
 // Executions are deterministic functions of (Config.Graph, Config.Seed):
 // each vertex gets a private RNG derived from the seed, and inboxes are
@@ -121,6 +126,15 @@ type Config struct {
 	// PoolThreshold vertices, a small multiple of GOMAXPROCS above it.
 	// Negative forces unlimited; positive forces that cap.
 	Workers int
+	// OnRound, when non-nil, is called after every completed round with
+	// that round's activity snapshot, in round order, while every vertex
+	// is blocked — in barrier mode on the goroutine of the round's last
+	// arriving vertex with the engine lock held, in event mode on the
+	// scheduler goroutine. It must not call back into the engine or
+	// block (either deadlocks the run); it is the hook behind
+	// per-scenario activity curves. The same calls are made in every
+	// execution mode.
+	OnRound func(RoundActivity)
 }
 
 // DefaultMaxRounds is the round limit used when Config.MaxRounds is zero.
@@ -165,7 +179,10 @@ type engine struct {
 	arrived  int    // running vertices blocked at the current barrier
 	running  int    // vertices neither done nor parked in Recv
 	parked   int    // vertices parked in Recv awaiting delivery
-	quiesced bool   // the network went permanently silent
+	stepped  int    // vertices that blocked or retired since the last completed round
+	senders  int    // senders routed in the current round (set by routeLocked)
+	onRound  func(RoundActivity)
+	quiesced bool // the network went permanently silent
 	abort    error
 	dirty    []*Ctx // vertices that blocked this round with sends queued
 	woken    []*Ctx // parked vertices receiving messages this round
@@ -206,6 +223,7 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 		cut:       cfg.CutSide,
 		routePar:  runtime.GOMAXPROCS(0),
 		running:   n,
+		onRound:   cfg.OnRound,
 	}
 	if e.maxRounds <= 0 {
 		e.maxRounds = DefaultMaxRounds
@@ -285,6 +303,7 @@ func (e *engine) finish(c *Ctx) {
 	c.outbox = nil
 	c.done = true
 	e.running--
+	e.stepped++
 	e.maybeAdvanceLocked()
 	e.mu.Unlock()
 	e.wg.Done()
@@ -309,6 +328,7 @@ func (e *engine) barrier(c *Ctx) []Message {
 		return nil
 	}
 	e.arrived++
+	e.stepped++
 	if len(c.outbox) > 0 {
 		// Dirty-sender tracking: senders register themselves on arrival, so
 		// round delivery never scans the n vertex contexts. Quiet rounds —
@@ -356,6 +376,7 @@ func (e *engine) park(c *Ctx) ([]Message, bool) {
 	c.parked = true
 	e.running--
 	e.parked++
+	e.stepped++
 	e.maybeAdvanceLocked()
 	for c.parked && e.abort == nil && !e.quiesced {
 		e.cond.Wait()
@@ -425,11 +446,32 @@ func (e *engine) completeRoundLocked() {
 				e.running++
 			}
 			e.woken = e.woken[:0]
+			e.recordRoundLocked()
 		}
 	}
 	e.arrived = 0
 	e.gen++
 	e.cond.Broadcast()
+}
+
+// recordRoundLocked folds the completed round's activity into Stats and
+// fires the OnRound hook. Called with every vertex blocked (under e.mu in
+// barrier mode, from the scheduler in event mode), identically in both
+// modes: Active counts the vertices that blocked or retired since the
+// previous completion, Parked the vertices still parked after this
+// round's deliveries.
+func (e *engine) recordRoundLocked() {
+	act := RoundActivity{Round: e.stats.Rounds, Active: e.stepped, Parked: e.parked, Senders: e.senders}
+	e.stats.ActiveSteps += int64(act.Active)
+	e.stats.ParkedSteps += int64(act.Parked)
+	if act.Active > e.stats.PeakActive {
+		e.stats.PeakActive = act.Active
+	}
+	e.stepped = 0
+	e.senders = 0
+	if e.onRound != nil {
+		e.onRound(act)
+	}
 }
 
 // meterResult is the per-sender accounting of one round, computed
@@ -457,6 +499,7 @@ func (e *engine) routeLocked() {
 	// cannot race with new arrivals registering.
 	senders := e.dirty
 	e.dirty = e.dirty[:0]
+	e.senders = len(senders)
 	if len(senders) == 0 {
 		return
 	}

@@ -141,6 +141,7 @@ func (e *engine) schedule() {
 		for outstanding > 0 {
 			r := <-e.reports
 			outstanding--
+			e.stepped++
 			switch r.kind {
 			case reportYield:
 				yielded = append(yielded, r.c)
@@ -149,6 +150,7 @@ func (e *engine) schedule() {
 				}
 			case reportPark:
 				r.c.parked = true
+				e.parked++
 				if len(r.c.outbox) > 0 {
 					e.dirty = append(e.dirty, r.c)
 				}
@@ -178,6 +180,7 @@ func (e *engine) schedule() {
 					outstanding++
 				}
 			}
+			e.parked = 0
 			e.dirty = e.dirty[:0]
 			continue
 		}
@@ -193,6 +196,7 @@ func (e *engine) schedule() {
 					outstanding++
 				}
 			}
+			e.parked = 0
 			continue
 		}
 		// Complete the round: meter and deliver, then wake exactly the
@@ -221,6 +225,10 @@ func (e *engine) schedule() {
 			e.woken = e.woken[:0]
 			continue
 		}
+		// Receivers unparked by routing leave the parked count before the
+		// round's activity is recorded, mirroring barrier mode.
+		e.parked -= len(e.woken)
+		e.recordRoundLocked()
 		for _, c := range yielded {
 			c.wake <- wakeStep
 		}

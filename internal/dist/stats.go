@@ -26,6 +26,40 @@ type Stats struct {
 	// traffic exceeded Config.Bandwidth. With Config.Enforce the first
 	// violation aborts the run instead.
 	BandwidthViolations int64
+	// ActiveSteps is the total number of vertex steps over all completed
+	// rounds: each round contributes the number of vertices that ran
+	// during it (ended the round by yielding in NextRound, parking in
+	// Recv, or retiring). A protocol where every vertex spins NextRound
+	// has ActiveSteps ≈ Rounds × n; an activity-aware protocol whose idle
+	// vertices park in Recv has ActiveSteps ≈ Σ_r #active(r) — the
+	// quantity the event-driven scheduler's round cost is proportional
+	// to. ActiveSteps/Rounds is the mean active-vertex count per round.
+	ActiveSteps int64
+	// ParkedSteps is the sum over completed rounds of the number of
+	// vertices parked in Recv when the round's deliveries were out (a
+	// vertex woken by a delivery counts as active, not parked, in that
+	// round). ParkedSteps/Rounds is the mean parked-vertex count per
+	// round; parked vertices cost the event scheduler zero wakeups.
+	ParkedSteps int64
+	// PeakActive is the maximum single-round active-vertex count.
+	PeakActive int
+}
+
+// RoundActivity is the per-round activity snapshot passed to
+// Config.OnRound after each completed round. All fields are deterministic
+// functions of (Config, procedure) and identical across execution modes.
+type RoundActivity struct {
+	// Round is the 1-based number of the round that just completed.
+	Round int
+	// Active is the number of vertices that ran during the round: they
+	// ended it by yielding (NextRound), parking (Recv), or retiring.
+	Active int
+	// Parked is the number of vertices still parked in Recv after the
+	// round's deliveries (woken receivers count as active next round).
+	Parked int
+	// Senders is the number of vertices that committed at least one send
+	// this round.
+	Senders int
 }
 
 // CongestCompatible reports whether every directed edge stayed within

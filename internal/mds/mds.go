@@ -12,6 +12,38 @@
 // obtaining at least 1/8 of their potential votes join the dominating set.
 // Every message fits in O(log n) bits, so the algorithm runs unchanged in
 // the CONGEST model; the engine enforces this at runtime.
+//
+// # Activity-aware execution
+//
+// The implementation is event-driven within the paper's six-round
+// iteration grid. State broadcasts are deltas: a vertex announces its
+// domination status only when it changes, its density and 1-hop maximum
+// only when they change, and candidacy announcements go only to the
+// uncovered neighbors whose votes they solicit. Receivers accumulate the
+// deltas into persistent per-neighbor state, so the folded quantities
+// (densities, 1-hop and 2-hop maxima) are identical to the classical
+// all-broadcast execution round for round — the chosen dominating set is
+// the same, message for message of randomness.
+//
+// Per-vertex termination states replace round-count spinning:
+//
+//   - active: the vertex owes a delta or is a candidate this iteration and
+//     executes the full iteration.
+//   - parked: nothing to send and not a candidate — the vertex parks in
+//     Ctx.Recv and wakes only when a delivery arrives. The wake's payload
+//     types identify the iteration phase (coverage deltas arrive in round
+//     1, densities in round 2, ...), so the vertex re-enters the iteration
+//     loop exactly where the network is.
+//   - halted: U_v = ∅ (paper step 6). The vertex announces a byeMsg — its
+//     density is now irrevocably 0 and senders prune it from their
+//     broadcast lists — then retires. When every vertex is parked or
+//     halted with no messages in flight, the engine's quiescence releases
+//     the parked vertices (Recv reports ok=false) and they finalize.
+//
+// Stats.ActiveSteps / ParkedSteps record the resulting activity profile;
+// on covered-tail instances most vertices spend most rounds parked, which
+// is what the event-driven scheduler turns into wall-clock speedups (see
+// BenchmarkMDSTail).
 package mds
 
 import (
@@ -35,6 +67,9 @@ type Options struct {
 	// event-driven); the zero value auto-switches on network size.
 	// Results are identical in every mode — only wall-clock cost differs.
 	ExecMode dist.Mode
+	// RoundHook, when non-nil, receives the engine's per-round activity
+	// snapshots (see dist.Config.OnRound).
+	RoundHook func(dist.RoundActivity)
 }
 
 // Result reports the outcome.
@@ -42,24 +77,27 @@ type Result struct {
 	// DominatingSet is the sorted set of chosen vertices.
 	DominatingSet []int
 	// Stats carries round/message/bit measurements; MaxEdgeRoundBits stays
-	// within the CONGEST budget by construction.
+	// within the CONGEST budget by construction, and ActiveSteps /
+	// ParkedSteps expose the activity profile.
 	Stats dist.Stats
-	// Iterations is the maximum number of algorithm iterations at any
-	// vertex.
+	// Iterations is the maximum number of algorithm iterations any vertex
+	// executed. Parked vertices skip iterations entirely, so this counts
+	// the longest active participation, not wall-clock rounds / 6.
 	Iterations int
 }
 
-// Message payloads: every payload is O(1) words of O(log n) bits.
+// Message payloads: every payload is O(1) words of O(log n) bits. Each
+// phase of the six-round iteration has a distinct payload type, which is
+// how a vertex woken from Recv re-identifies the network's current phase.
 
-// coveredMsg broadcasts whether the sender is dominated yet.
-type coveredMsg struct {
-	covered bool
-}
+// coveredMsg announces that the sender became dominated (round 1; sent
+// once, on the transition).
+type coveredMsg struct{}
 
 func (coveredMsg) Bits() int { return 1 }
 
-// densityMsg broadcasts the sender's uncovered-neighborhood count (the MDS
-// density is an integer, so one word suffices).
+// densityMsg announces the sender's changed uncovered-neighborhood count
+// (round 2; the MDS density is an integer, so one word suffices).
 type densityMsg struct {
 	count int
 	n     int
@@ -67,8 +105,15 @@ type densityMsg struct {
 
 func (m densityMsg) Bits() int { return dist.IDBits(m.n) }
 
-// maxMsg broadcasts a 1-hop maximum of rounded densities. Rounded densities
-// are powers of two <= 2(Δ+1), so the exponent fits a word.
+// byeMsg announces that the sender halted (U_v = ∅, round 2): its density
+// is 0 forever and senders drop it from their broadcast lists.
+type byeMsg struct{}
+
+func (byeMsg) Bits() int { return 1 }
+
+// maxMsg announces the sender's changed 1-hop maximum of rounded
+// densities (round 3). Rounded densities are powers of two <= 2(Δ+1), so
+// the value fits a word.
 type maxMsg struct {
 	count int
 	n     int
@@ -76,7 +121,9 @@ type maxMsg struct {
 
 func (m maxMsg) Bits() int { return dist.IDBits(m.n) }
 
-// candMsg announces candidacy with the random rank r ∈ {1..n⁴}: 4 words.
+// candMsg announces candidacy with the random rank r ∈ {1..n⁴} (round 4;
+// 4 words). It is sent only to the uncovered neighbors whose votes it
+// solicits — a covered vertex never acts on it.
 type candMsg struct {
 	r int64
 	n int
@@ -84,12 +131,12 @@ type candMsg struct {
 
 func (m candMsg) Bits() int { return 4 * dist.IDBits(m.n) }
 
-// voteMsg casts the sender's vote for the receiving candidate.
+// voteMsg casts the sender's vote for the receiving candidate (round 5).
 type voteMsg struct{}
 
 func (voteMsg) Bits() int { return 1 }
 
-// joinMsg announces that the sender joined the dominating set.
+// joinMsg announces that the sender joined the dominating set (round 6).
 type joinMsg struct{}
 
 func (joinMsg) Bits() int { return 1 }
@@ -104,7 +151,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	inDS := make([]bool, n)
 	iters := make([]int, n)
 	proc := func(ctx *dist.Ctx) {
-		runNode(ctx, inDS, iters)
+		newNode(ctx).run(inDS, iters)
 	}
 	stats, err := dist.Run(dist.Config{
 		Graph:     g,
@@ -113,6 +160,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		Bandwidth: bandwidth,
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,
+		OnRound:   opts.RoundHook,
 	}, proc)
 	if err != nil {
 		return nil, err
@@ -146,110 +194,324 @@ func roundUpPow2Int(x int) int {
 	return p
 }
 
-func runNode(ctx *dist.Ctx, inDS []bool, iters []int) {
-	me := ctx.ID()
-	n := ctx.N()
+// phase indexes the six rounds of one iteration. A parked vertex that is
+// woken classifies the wake by payload type into the phase whose inbox it
+// received and resumes the iteration from there.
+type phase int
+
+const (
+	phCoverage phase = iota + 1 // round 1: coveredMsg deltas
+	phDensity                   // round 2: densityMsg deltas + byeMsg
+	phMax                       // round 3: maxMsg deltas
+	phCand                      // round 4: candMsg
+	phVote                      // round 5: voteMsg (candidates only)
+	phJoin                      // round 6: joinMsg
+)
+
+// node is the per-vertex state.
+type node struct {
+	ctx  *dist.Ctx
+	me   int
+	n    int
+	nbrs []int
+
+	covered    bool
+	selfIn     bool
+	pendingCov bool // covered transition not yet announced (round 1)
+
+	// Per-neighbor state, indexed by the neighbor's position in nbrs (the
+	// folds scan slices; only inbox processing pays an id->position map
+	// lookup).
+	pos        map[int]int
+	alive      []bool
+	nbrCovered []bool
+	densOf     []int // last announced count per live neighbor
+	hopOf      []int // last announced 1-hop max per live neighbor
+
+	count    int // |U_v|: uncovered vertices in the closed neighborhood
+	hopMax   int // 1-hop maximum of rounded densities (incl. own)
+	m2       int // 2-hop maximum (incl. own)
+	lastDens int // last announced count (-1: never)
+	lastHop  int // last announced hopMax (-1: never)
+	isCand   bool
+	myR      int64
+	cands    map[int]int64 // candidate id -> rank, this iteration
+	votes    int
+	iter     int
+}
+
+func newNode(ctx *dist.Ctx) *node {
 	nbrs := ctx.Neighbors()
-	selfIn := false
-	covered := false
-	nbrCovered := make(map[int]bool, len(nbrs))
+	v := &node{
+		ctx: ctx, me: ctx.ID(), n: ctx.N(), nbrs: nbrs,
+		pos:        make(map[int]int, len(nbrs)),
+		alive:      make([]bool, len(nbrs)),
+		nbrCovered: make([]bool, len(nbrs)),
+		densOf:     make([]int, len(nbrs)),
+		hopOf:      make([]int, len(nbrs)),
+		lastDens:   -1,
+		lastHop:    -1,
+	}
+	for i, u := range nbrs {
+		v.pos[u] = i
+		v.alive[i] = true
+	}
+	return v
+}
 
-	for iter := 0; ; iter++ {
-		iters[me] = iter
-
-		// Round 1: coverage sync. Everyone reports domination status.
-		ctx.Broadcast(coveredMsg{covered: covered})
-		for _, m := range ctx.NextRound() {
-			nbrCovered[m.From] = m.Payload.(coveredMsg).covered
-		}
-		// U_v: uncovered vertices in the closed neighborhood.
-		count := 0
-		if !covered {
-			count++
-		}
-		for _, u := range nbrs {
-			if !nbrCovered[u] {
-				count++
-			}
-		}
-		if count == 0 {
-			// U_v = ∅: output membership and halt (paper step 6).
-			inDS[me] = selfIn
-			return
-		}
-		rho := roundUpPow2Int(count)
-
-		// Round 2: densities (as raw counts; receivers round).
-		ctx.Broadcast(densityMsg{count: count, n: n})
-		hopMax := rho
-		for _, m := range ctx.NextRound() {
-			if r := roundUpPow2Int(m.Payload.(densityMsg).count); r > hopMax {
-				hopMax = r
-			}
-		}
-
-		// Round 3: 1-hop maxima -> 2-hop maxima.
-		ctx.Broadcast(maxMsg{count: hopMax, n: n})
-		m2 := hopMax
-		for _, m := range ctx.NextRound() {
-			if r := m.Payload.(maxMsg).count; r > m2 {
-				m2 = r
-			}
-		}
-
-		// Round 4: candidacy.
-		isCand := rho >= m2
-		var myR int64
-		if isCand {
-			myR = 1 + ctx.Rand().Int63n(1<<62)
-			ctx.Broadcast(candMsg{r: myR, n: n})
-		}
-		type cand struct{ r int64 }
-		cands := make(map[int]cand)
-		for _, m := range ctx.NextRound() {
-			cands[m.From] = cand{r: m.Payload.(candMsg).r}
-		}
-
-		// Round 5: votes. An uncovered vertex votes for the first
-		// candidate covering it by (r, id); itself included if candidate.
-		selfVote := false
-		if !covered {
-			bestV, bestR := -1, int64(0)
-			if isCand {
-				bestV, bestR = me, myR
-			}
-			for vid, c := range cands {
-				if bestV < 0 || c.r < bestR || (c.r == bestR && vid < bestV) {
-					bestV, bestR = vid, c.r
-				}
-			}
-			if bestV == me {
-				selfVote = true
-			} else if bestV >= 0 {
-				ctx.Send(bestV, voteMsg{})
-			}
-		}
-		votes := 0
-		if selfVote {
-			votes++
-		}
-		for range ctx.NextRound() {
-			votes++
-		}
-
-		// Round 6: acceptance at >= |C_v|/8 votes; C_v = count.
-		if isCand && 8*votes >= count && count > 0 {
-			selfIn = true
-			ctx.Broadcast(joinMsg{})
-		}
-		joined := selfIn
-		for _, m := range ctx.NextRound() {
-			if _, ok := m.Payload.(joinMsg); ok {
-				joined = true // a neighbor joined; we are dominated
-			}
-		}
-		if joined {
-			covered = true
+// bcast sends p to every live neighbor: halted vertices are pruned from
+// all broadcasts, which is what makes covered-tail rounds cheap.
+func (v *node) bcast(p dist.Payload) {
+	for i, u := range v.nbrs {
+		if v.alive[i] {
+			v.ctx.Send(u, p)
 		}
 	}
+}
+
+// recount recomputes |U_v| from the accumulated coverage state.
+func (v *node) recount() {
+	c := 0
+	if !v.covered {
+		c++
+	}
+	for i := range v.nbrs {
+		if !v.nbrCovered[i] {
+			c++
+		}
+	}
+	v.count = c
+}
+
+// refoldHop recomputes the 1-hop maximum of rounded densities from the
+// accumulated per-neighbor counts (own first, then live neighbors in id
+// order — the same fold the all-broadcast execution performs on its
+// round-2 inbox).
+func (v *node) refoldHop() {
+	h := roundUpPow2Int(v.count)
+	for i := range v.nbrs {
+		if !v.alive[i] {
+			continue
+		}
+		if r := roundUpPow2Int(v.densOf[i]); r > h {
+			h = r
+		}
+	}
+	v.hopMax = h
+}
+
+// refoldM2 recomputes the 2-hop maximum from the accumulated 1-hop maxima.
+func (v *node) refoldM2() {
+	m := v.hopMax
+	for i := range v.nbrs {
+		if !v.alive[i] {
+			continue
+		}
+		if r := v.hopOf[i]; r > m {
+			m = r
+		}
+	}
+	v.m2 = m
+}
+
+// parkable reports whether the vertex owes the network nothing this
+// iteration: no pending deltas and no candidacy. Such a vertex parks in
+// Recv; anything that could change its answers arrives as a delivery.
+func (v *node) parkable() bool {
+	if v.pendingCov || v.count != v.lastDens || v.hopMax != v.lastHop {
+		return false
+	}
+	return roundUpPow2Int(v.count) < v.m2 // not a candidate
+}
+
+// classify maps a wake inbox to the phase whose round delivered it. Every
+// phase has disjoint payload types and all senders are phase-aligned, so
+// one inbox is always one phase.
+func classify(msgs []dist.Message) phase {
+	switch msgs[0].Payload.(type) {
+	case coveredMsg:
+		return phCoverage
+	case densityMsg, byeMsg:
+		return phDensity
+	case maxMsg:
+		return phMax
+	case candMsg:
+		return phCand
+	case voteMsg:
+		return phVote
+	case joinMsg:
+		return phJoin
+	}
+	panic("mds: unclassifiable wake payload")
+}
+
+func (v *node) run(inDS []bool, iters []int) {
+	for {
+		start := phCoverage
+		var wake []dist.Message
+		if v.iter > 0 && v.parkable() {
+			msgs, ok := v.ctx.Recv()
+			if !ok {
+				// Quiescence: nothing can ever change U_v again.
+				inDS[v.me] = v.selfIn
+				return
+			}
+			start = classify(msgs)
+			wake = msgs
+		}
+		iters[v.me] = v.iter
+		v.iter++
+		if v.iteration(start, wake, inDS) {
+			return
+		}
+	}
+}
+
+// iteration executes one iteration of the paper's loop from phase start
+// (start > phCoverage when resuming from a parked wake, whose inbox is
+// wake). It returns true when the vertex halted.
+func (v *node) iteration(start phase, wake []dist.Message, inDS []bool) bool {
+	v.isCand = false
+	v.votes = 0
+	v.cands = nil
+	for ph := start; ph <= phJoin; ph++ {
+		var inbox []dist.Message
+		if ph == start && wake != nil {
+			inbox = wake // woken into this phase: inbox already delivered
+		} else {
+			v.emit(ph)
+			inbox = v.ctx.NextRound()
+		}
+		if v.process(ph, inbox) {
+			// U_v = ∅ (paper step 6): announce the retirement so peers
+			// zero this vertex's density and stop sending to it, flush,
+			// output membership, halt.
+			v.bcast(byeMsg{})
+			v.ctx.NextRound()
+			inDS[v.me] = v.selfIn
+			return true
+		}
+	}
+	return false
+}
+
+// emit queues the sends of phase ph; they are committed by the blocking
+// call that returns ph's inbox.
+func (v *node) emit(ph phase) {
+	switch ph {
+	case phCoverage:
+		if v.pendingCov {
+			v.bcast(coveredMsg{})
+			v.pendingCov = false
+		}
+	case phDensity:
+		if v.count != v.lastDens {
+			v.bcast(densityMsg{count: v.count, n: v.n})
+			v.lastDens = v.count
+		}
+	case phMax:
+		if v.hopMax != v.lastHop {
+			v.bcast(maxMsg{count: v.hopMax, n: v.n})
+			v.lastHop = v.hopMax
+		}
+	case phCand:
+		v.isCand = roundUpPow2Int(v.count) >= v.m2
+		if v.isCand {
+			v.myR = 1 + v.ctx.Rand().Int63n(1<<62)
+			// Only uncovered vertices vote; covered neighbors would
+			// discard the announcement, so it is not sent to them.
+			for i, u := range v.nbrs {
+				if v.alive[i] && !v.nbrCovered[i] {
+					v.ctx.Send(u, candMsg{r: v.myR, n: v.n})
+				}
+			}
+		}
+	case phVote:
+		if !v.covered {
+			bestV, bestR := -1, int64(0)
+			if v.isCand {
+				bestV, bestR = v.me, v.myR
+			}
+			for vid, r := range v.cands {
+				if bestV < 0 || r < bestR || (r == bestR && vid < bestV) {
+					bestV, bestR = vid, r
+				}
+			}
+			if bestV == v.me {
+				v.votes++ // self-vote
+			} else if bestV >= 0 {
+				v.ctx.Send(bestV, voteMsg{})
+			}
+		}
+	case phJoin:
+		if v.isCand && 8*v.votes >= v.count && v.count > 0 {
+			v.selfIn = true
+			v.bcast(joinMsg{})
+		}
+	}
+}
+
+// process consumes the inbox of phase ph, returning true when the vertex
+// detected U_v = ∅ and must halt.
+func (v *node) process(ph phase, inbox []dist.Message) bool {
+	switch ph {
+	case phCoverage:
+		for _, m := range inbox {
+			if _, ok := m.Payload.(coveredMsg); ok {
+				v.nbrCovered[v.pos[m.From]] = true
+			}
+		}
+		v.recount()
+		return v.count == 0
+	case phDensity:
+		for _, m := range inbox {
+			switch p := m.Payload.(type) {
+			case densityMsg:
+				v.densOf[v.pos[m.From]] = p.count
+			case byeMsg:
+				// The sender halted: density 0 forever, pruned from all
+				// future broadcasts. Halting implies it was dominated.
+				i := v.pos[m.From]
+				v.alive[i] = false
+				v.nbrCovered[i] = true
+				v.densOf[i] = 0
+				v.hopOf[i] = 0
+			}
+		}
+		v.refoldHop()
+	case phMax:
+		for _, m := range inbox {
+			if p, ok := m.Payload.(maxMsg); ok {
+				v.hopOf[v.pos[m.From]] = p.count
+			}
+		}
+		v.refoldM2()
+	case phCand:
+		for _, m := range inbox {
+			if p, ok := m.Payload.(candMsg); ok {
+				if v.cands == nil {
+					v.cands = make(map[int]int64)
+				}
+				v.cands[m.From] = p.r
+			}
+		}
+	case phVote:
+		for _, m := range inbox {
+			if _, ok := m.Payload.(voteMsg); ok {
+				v.votes++
+			}
+		}
+	case phJoin:
+		joined := v.selfIn
+		for _, m := range inbox {
+			if _, ok := m.Payload.(joinMsg); ok {
+				joined = true // a dominator is adjacent (or is this vertex)
+			}
+		}
+		if joined && !v.covered {
+			v.covered = true
+			v.pendingCov = true
+		}
+	}
+	return false
 }

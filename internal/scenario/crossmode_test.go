@@ -32,6 +32,12 @@ func TestCrossModeScenarioEquivalence(t *testing.T) {
 		{"twospanner-directed", func() Params {
 			return Params{"n": strconv.Itoa(12 + rng.Intn(12)), "p": "0.2"}
 		}},
+		{"twospanner-weighted", func() Params {
+			return Params{"n": strconv.Itoa(20 + rng.Intn(16)), "whi": "16"}
+		}},
+		{"twospanner-cs", func() Params {
+			return Params{"n": strconv.Itoa(20 + rng.Intn(16))}
+		}},
 		{"mds", func() Params {
 			return Params{
 				"family": []string{"cgnp", "expander"}[rng.Intn(2)],

@@ -25,12 +25,24 @@ func graphMetrics(g *graph.Graph, m Metrics) Metrics {
 }
 
 // statsMetrics are the engine observations shared by every simulated run.
+// The activity columns expose the per-run activity profile: active_steps
+// is the total number of vertex steps over all rounds (an all-spinning
+// protocol has active_steps ≈ rounds × n), parked_steps the total parked
+// vertex-rounds, and mean_active / mean_parked their per-round means —
+// the quantities the activity-aware algorithm ports shrink.
 func statsMetrics(s dist.Stats, m Metrics) Metrics {
 	m["rounds"] = float64(s.Rounds)
 	m["messages"] = float64(s.Messages)
 	m["total_bits"] = float64(s.TotalBits)
 	m["max_msg_bits"] = float64(s.MaxMessageBits)
 	m["max_edge_round_bits"] = float64(s.MaxEdgeRoundBits)
+	m["active_steps"] = float64(s.ActiveSteps)
+	m["parked_steps"] = float64(s.ParkedSteps)
+	m["peak_active"] = float64(s.PeakActive)
+	if s.Rounds > 0 {
+		m["mean_active"] = float64(s.ActiveSteps) / float64(s.Rounds)
+		m["mean_parked"] = float64(s.ParkedSteps) / float64(s.Rounds)
+	}
 	return m
 }
 

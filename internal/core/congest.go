@@ -15,28 +15,27 @@ import (
 // implementation of our algorithm in the Congest model yields an overhead
 // of O(Δ) rounds". TwoSpannerCongest runs the exact same per-vertex
 // program as TwoSpanner, but every logical round is realized as a fixed
-// number of CONGEST subrounds over which the O(Δ)-word messages are
+// number of CONGEST subrounds over which the O(Δ)-word records are
 // fragmented into O(log n)-bit chunks. The engine enforces the bandwidth,
 // so a single oversized message aborts the run — the CONGEST legality is
 // checked, not assumed.
+//
+// Physical traffic also rides the flat-buffer record path: a fragment is a
+// record with Tag tagChunk whose Flag carries the logical payload kind,
+// whose A word is the more-fragments marker, and whose Ints tail is the
+// word slice. Reassembly decodes the word stream back into the logical
+// record the LOCAL execution would have delivered.
 
 // chunkWords is the number of payload words carried per chunk; with the
 // header this keeps every chunk within the 8-word CONGEST budget.
 const chunkWords = 6
 
-// chunkMsg is one fragment of an encoded logical payload.
-type chunkMsg struct {
-	kind  uint8
-	words []int
-	more  bool
-	n     int
-}
+// chunkBits is the fixed metered size of one fragment: a full 8-word
+// CONGEST message — header (kind, more, count) plus up to chunkWords
+// words.
+func chunkBits(n int) int { return 8 * dist.IDBits(n) }
 
-// Bits accounts a fixed 8-word CONGEST message: header (kind, more, count)
-// plus up to chunkWords words.
-func (m chunkMsg) Bits() int { return 8 * dist.IDBits(m.n) }
-
-// Payload kind tags for the fragmenter.
+// Logical payload kind tags for the fragmenter.
 const (
 	kindSpanList uint8 = iota + 1
 	kindUncov
@@ -49,84 +48,79 @@ const (
 	kindUncovFull
 )
 
-// encodePayload flattens a core payload into words. Densities travel as
-// exact (spanned, cost) integer rationals — the unweighted algorithm's
-// densities are ratios of counts, so one word each suffices; receivers
-// recompute the float and its rounding, which is exactly how a real
-// CONGEST implementation would ship them.
-func encodePayload(p dist.Payload) (uint8, []int, error) {
-	switch m := p.(type) {
-	case spanListMsg:
-		return kindSpanList, m.nbrs, nil
-	case uncovMsg:
-		if m.full {
-			return kindUncovFull, m.nbrs, nil
+// encodePayload flattens a logical record into (kind, words). Densities
+// travel as exact (spanned, cost) integer rationals — the unweighted
+// algorithm's densities are ratios of counts, so one word each suffices;
+// receivers recompute the float and its rounding, which is exactly how a
+// real CONGEST implementation would ship them. Scalar ranks are split
+// into two 31-bit words.
+func encodePayload(r dist.Rec) (uint8, []int, error) {
+	switch r.Tag {
+	case tagSpan:
+		return kindSpanList, r.Ints, nil
+	case tagUncov:
+		if r.Flag != 0 {
+			return kindUncovFull, r.Ints, nil
 		}
-		return kindUncov, m.nbrs, nil
-	case densMsg:
-		return kindDens, []int{m.num, m.den}, nil
-	case maxMsg:
-		return kindMax, []int{m.num, m.den}, nil
-	case starMsg:
-		words := []int{int(m.r >> 31), int(m.r & ((1 << 31) - 1))}
-		return kindStar, append(words, m.star...), nil
-	case termMsg:
-		return kindTerm, m.added, nil
-	case voteMsg:
-		words := make([]int, 0, 2*len(m.edges))
-		for _, e := range m.edges {
-			words = append(words, e[0], e[1])
-		}
-		return kindVote, words, nil
-	case acceptMsg:
-		return kindAccept, m.star, nil
+		return kindUncov, r.Ints, nil
+	case tagDens:
+		return kindDens, []int{int(r.A), int(r.B)}, nil
+	case tagMax:
+		return kindMax, []int{int(r.A), int(r.B)}, nil
+	case tagStar:
+		words := []int{int(r.A >> 31), int(r.A & ((1 << 31) - 1))}
+		return kindStar, append(words, r.Ints...), nil
+	case tagTerm:
+		return kindTerm, r.Ints, nil
+	case tagVote:
+		return kindVote, r.Ints, nil
+	case tagAccept:
+		return kindAccept, r.Ints, nil
 	default:
-		return 0, nil, fmt.Errorf("core: unknown payload %T in CONGEST mode", p)
+		return 0, nil, fmt.Errorf("core: unknown record tag %d in CONGEST mode", r.Tag)
 	}
 }
 
-// decodePayload reverses encodePayload.
-func decodePayload(kind uint8, words []int, n int) (dist.Payload, error) {
+// decodePayload reverses encodePayload into the logical record.
+func decodePayload(kind uint8, words []int, n int) (dist.Rec, error) {
 	switch kind {
 	case kindSpanList:
-		return spanListMsg{nbrs: words, n: n}, nil
+		return dist.Rec{Tag: tagSpan, Ints: words}, nil
 	case kindUncov:
-		return uncovMsg{nbrs: words, n: n}, nil
+		return dist.Rec{Tag: tagUncov, Ints: words}, nil
 	case kindUncovFull:
-		return uncovMsg{nbrs: words, full: true, n: n}, nil
+		return dist.Rec{Tag: tagUncov, Flag: 1, Ints: words}, nil
 	case kindDens:
 		if len(words) != 2 {
-			return nil, errors.New("core: bad density fragment")
+			return dist.Rec{}, errors.New("core: bad density fragment")
 		}
 		raw := ratValue(words[0], words[1])
-		return densMsg{rho: RoundUpPow2(raw), raw: raw, wmax: 1, num: words[0], den: words[1]}, nil
+		return dist.Rec{Tag: tagDens, A: int64(words[0]), B: int64(words[1]),
+			F0: RoundUpPow2(raw), F1: raw, F2: 1}, nil
 	case kindMax:
 		if len(words) != 2 {
-			return nil, errors.New("core: bad max fragment")
+			return dist.Rec{}, errors.New("core: bad max fragment")
 		}
 		raw := ratValue(words[0], words[1])
-		return maxMsg{rho: RoundUpPow2(raw), raw: raw, wmax: 1, num: words[0], den: words[1]}, nil
+		return dist.Rec{Tag: tagMax, A: int64(words[0]), B: int64(words[1]),
+			F0: RoundUpPow2(raw), F1: raw, F2: 1}, nil
 	case kindStar:
 		if len(words) < 2 {
-			return nil, errors.New("core: bad star fragment")
+			return dist.Rec{}, errors.New("core: bad star fragment")
 		}
 		r := int64(words[0])<<31 | int64(words[1])
-		return starMsg{star: words[2:], r: r, n: n}, nil
+		return dist.Rec{Tag: tagStar, A: r, Ints: words[2:]}, nil
 	case kindTerm:
-		return termMsg{added: words, n: n}, nil
+		return dist.Rec{Tag: tagTerm, Ints: words}, nil
 	case kindVote:
 		if len(words)%2 != 0 {
-			return nil, errors.New("core: bad vote fragment")
+			return dist.Rec{}, errors.New("core: bad vote fragment")
 		}
-		edges := make([][2]int, 0, len(words)/2)
-		for i := 0; i < len(words); i += 2 {
-			edges = append(edges, [2]int{words[i], words[i+1]})
-		}
-		return voteMsg{edges: edges, n: n}, nil
+		return dist.Rec{Tag: tagVote, Ints: words}, nil
 	case kindAccept:
-		return acceptMsg{star: words, n: n}, nil
+		return dist.Rec{Tag: tagAccept, Ints: words}, nil
 	default:
-		return nil, fmt.Errorf("core: unknown payload kind %d", kind)
+		return dist.Rec{}, fmt.Errorf("core: unknown payload kind %d", kind)
 	}
 }
 
@@ -141,13 +135,14 @@ func ratValue(num, den int) float64 {
 }
 
 // congestCtx adapts *dist.Ctx so that one logical round of the protocol
-// becomes exactly `sub` physical CONGEST rounds, fragmenting every payload
-// into chunkMsg fragments. All vertices derive `sub` from the globally
-// known n and Δ, keeping the network in lockstep.
+// becomes exactly `sub` physical CONGEST rounds, fragmenting every record
+// into chunk records. All vertices derive `sub` from the globally known n
+// and Δ, keeping the network in lockstep.
 type congestCtx struct {
-	ctx *dist.Ctx
-	sub int
-	out map[int][]pendingPayload
+	ctx   *dist.Ctx
+	sub   int
+	cbits int // metered size of one chunk
+	out   map[int]pendingPayload
 }
 
 type pendingPayload struct {
@@ -164,7 +159,7 @@ func newCongestCtx(ctx *dist.Ctx, maxDegree int) *congestCtx {
 	if sub < 1 {
 		sub = 1
 	}
-	return &congestCtx{ctx: ctx, sub: sub, out: make(map[int][]pendingPayload)}
+	return &congestCtx{ctx: ctx, sub: sub, cbits: chunkBits(ctx.N()), out: make(map[int]pendingPayload)}
 }
 
 // Subrounds reports the physical rounds per logical round: the measured
@@ -183,13 +178,25 @@ func (c *congestCtx) Neighbors() []int { return c.ctx.Neighbors() }
 // Rand implements roundCtx.
 func (c *congestCtx) Rand() *rand.Rand { return c.ctx.Rand() }
 
-// Send implements roundCtx by queuing the payload for fragmentation.
-func (c *congestCtx) Send(to int, p dist.Payload) {
-	kind, words, err := encodePayload(p)
+// SendRec implements roundCtx by queuing the record for fragmentation.
+// The bits argument (the LOCAL accounting) is discarded: physical chunks
+// meter their own fixed CONGEST size.
+func (c *congestCtx) SendRec(to int, r dist.Rec, _ int) {
+	kind, words, err := encodePayload(r)
 	if err != nil {
 		panic(err)
 	}
-	c.out[to] = append(c.out[to], pendingPayload{kind: kind, words: words})
+	if _, dup := c.out[to]; dup {
+		// The protocol sends at most one payload per (sender, receiver)
+		// per logical round, which keeps reassembly unambiguous.
+		panic("core: two payloads to one receiver in a logical round")
+	}
+	// The words slice may alias the caller's scratch (a rec built from
+	// per-iteration state is fine, but the engine contract for staged
+	// tails requires stability until commit) — the fragment loop below
+	// reads it across sub physical rounds, so keep the reference; callers
+	// rebuild their payloads per logical round.
+	c.out[to] = pendingPayload{kind: kind, words: words}
 }
 
 // inStream reassembles one sender's fragmented payload.
@@ -199,20 +206,22 @@ type inStream struct {
 	done  bool
 }
 
-// collectChunks folds one physical round's inbox into the reassembly map.
-func collectChunks(incoming map[int]*inStream, msgs []dist.Message) {
-	for _, m := range msgs {
-		ch, ok := m.Payload.(chunkMsg)
-		if !ok {
-			panic(fmt.Sprintf("core: non-chunk payload %T in CONGEST mode", m.Payload))
+// collectChunks folds one physical round's chunk records into the
+// reassembly map.
+func collectChunks(incoming map[int]*inStream, msgs []dist.InRec) {
+	for i := range msgs {
+		m := &msgs[i]
+		if m.Tag != tagChunk {
+			panic(fmt.Sprintf("core: non-chunk record tag %d in CONGEST mode", m.Tag))
 		}
 		st := incoming[m.From]
 		if st == nil || st.done {
-			st = &inStream{kind: ch.kind}
+			st = &inStream{kind: m.Flag}
 			incoming[m.From] = st
 		}
-		st.words = append(st.words, ch.words...)
-		if !ch.more {
+		// The chunk's word tail aliases the physical inbox arena; copy.
+		st.words = append(st.words, m.Ints...)
+		if m.A == 0 {
 			st.done = true
 		}
 	}
@@ -220,45 +229,40 @@ func collectChunks(incoming map[int]*inStream, msgs []dist.Message) {
 
 // assemble decodes the reassembled streams into the logical inbox, sorted
 // by sender.
-func (c *congestCtx) assemble(incoming map[int]*inStream) []dist.Message {
+func (c *congestCtx) assemble(incoming map[int]*inStream) []dist.InRec {
 	froms := make([]int, 0, len(incoming))
 	for from := range incoming {
 		froms = append(froms, from)
 	}
 	sort.Ints(froms)
-	msgs := make([]dist.Message, 0, len(froms))
+	msgs := make([]dist.InRec, 0, len(froms))
 	for _, from := range froms {
 		st := incoming[from]
-		p, err := decodePayload(st.kind, st.words, c.ctx.N())
+		r, err := decodePayload(st.kind, st.words, c.ctx.N())
 		if err != nil {
 			panic(err)
 		}
-		msgs = append(msgs, dist.Message{From: from, Payload: p})
+		msgs = append(msgs, dist.InRec{From: from, Rec: r})
 	}
 	return msgs
 }
 
-// NextRound implements roundCtx: it spends exactly c.sub physical rounds
-// streaming the queued fragments and reassembles the logical inbox.
-func (c *congestCtx) NextRound() []dist.Message {
-	// The protocol sends at most one payload per (sender, receiver) per
-	// logical round, which keeps reassembly unambiguous.
+// NextRoundRecs implements roundCtx: it spends exactly c.sub physical
+// rounds streaming the queued fragments and reassembles the logical
+// inbox.
+func (c *congestCtx) NextRoundRecs() []dist.InRec {
 	type stream struct {
 		kind   uint8
 		words  []int
 		offset int
 	}
 	streams := make(map[int]*stream, len(c.out))
-	for to, payloads := range c.out {
-		if len(payloads) != 1 {
-			panic(fmt.Sprintf("core: %d payloads to one receiver in a logical round", len(payloads)))
-		}
-		streams[to] = &stream{kind: payloads[0].kind, words: payloads[0].words}
+	for to, p := range c.out {
+		streams[to] = &stream{kind: p.kind, words: p.words}
 	}
-	c.out = make(map[int][]pendingPayload)
+	c.out = make(map[int]pendingPayload)
 
 	incoming := make(map[int]*inStream)
-	n := c.ctx.N()
 	for round := 0; round < c.sub; round++ {
 		for to, s := range streams {
 			if s.offset == 0 || s.offset < len(s.words) {
@@ -266,43 +270,42 @@ func (c *congestCtx) NextRound() []dist.Message {
 				if end > len(s.words) {
 					end = len(s.words)
 				}
-				chunk := chunkMsg{
-					kind:  s.kind,
-					words: s.words[s.offset:end],
-					more:  end < len(s.words),
-					n:     n,
+				more := int64(0)
+				if end < len(s.words) {
+					more = 1
 				}
+				chunk := dist.Rec{Tag: tagChunk, Flag: s.kind, A: more, Ints: s.words[s.offset:end]}
 				s.offset = end
 				if s.offset == 0 { // empty payload: mark sent
 					s.offset = 1
 				}
-				c.ctx.Send(to, chunk)
+				c.ctx.SendRec(to, chunk, c.cbits)
 			}
 		}
-		collectChunks(incoming, c.ctx.NextRound())
+		collectChunks(incoming, c.ctx.NextRoundRecs())
 	}
 	return c.assemble(incoming)
 }
 
-// Recv implements roundCtx: it parks the vertex across whole logical
+// RecvRecs implements roundCtx: it parks the vertex across whole logical
 // rounds. A vertex with nothing to send costs zero physical wakeups until
 // a peer addresses it; every stream's first chunk is committed at a
 // logical-round boundary, so the physical wake lands on the first round
 // of a logical window and the remaining sub-1 physical rounds both finish
 // the collection and re-align the vertex with the network's round grid.
 // Quiescence (ok=false) passes through from the physical engine.
-func (c *congestCtx) Recv() ([]dist.Message, bool) {
+func (c *congestCtx) RecvRecs() ([]dist.InRec, bool) {
 	if len(c.out) != 0 {
 		panic("core: congest Recv with queued sends (park only when silent)")
 	}
-	msgs, ok := c.ctx.Recv()
+	msgs, ok := c.ctx.RecvRecs()
 	if !ok {
 		return nil, false
 	}
 	incoming := make(map[int]*inStream)
 	collectChunks(incoming, msgs)
 	for round := 1; round < c.sub; round++ {
-		collectChunks(incoming, c.ctx.NextRound())
+		collectChunks(incoming, c.ctx.NextRoundRecs())
 	}
 	return c.assemble(incoming), true
 }
@@ -336,7 +339,7 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 	}
 	n := g.N()
 	maxDeg := g.MaxDegree()
-	bandwidth := 8 * dist.IDBits(n)
+	bandwidth := chunkBits(n)
 	outs := make([][]int, n)
 	iters := make([]int, n)
 	var fallbacks atomic.Int64

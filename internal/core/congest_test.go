@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"distspanner/internal/dist"
 	"distspanner/internal/gen"
 	"distspanner/internal/graph"
 	"distspanner/internal/span"
@@ -101,24 +102,23 @@ func TestCongestRejectsWeighted(t *testing.T) {
 
 func TestPayloadCodecRoundTrip(t *testing.T) {
 	n := 64
-	payloads := []struct {
+	recs := []struct {
 		name string
-		p    interface {
-			Bits() int
-		}
+		r    dist.Rec
 	}{
-		{"spanList", spanListMsg{nbrs: []int{1, 5, 9}, n: n}},
-		{"uncov", uncovMsg{nbrs: []int{2, 3}, n: n}},
-		{"uncov-empty", uncovMsg{n: n}},
-		{"dens", densMsg{rho: 4, raw: 3.5, wmax: 1, num: 7, den: 2}},
-		{"max", maxMsg{rho: 4, raw: 7.0 / 3.0, wmax: 1, num: 7, den: 3}},
-		{"star", starMsg{star: []int{7, 8, 20}, r: (int64(3) << 31) | 12345, n: n}},
-		{"term", termMsg{added: []int{4}, n: n}},
-		{"vote", voteMsg{edges: [][2]int{{1, 2}, {3, 4}}, n: n}},
-		{"accept", acceptMsg{star: []int{0, 63}, n: n}},
+		{"spanList", spanListMsg{nbrs: []int{1, 5, 9}, n: n}.rec()},
+		{"uncov", uncovMsg{nbrs: []int{2, 3}, n: n}.rec()},
+		{"uncov-full", uncovMsg{nbrs: []int{2, 3}, full: true, n: n}.rec()},
+		{"uncov-empty", uncovMsg{n: n}.rec()},
+		{"dens", densMsg{rho: 4, raw: 3.5, wmax: 1, num: 7, den: 2}.rec()},
+		{"max", maxMsg{rho: 4, raw: 7.0 / 3.0, wmax: 1, num: 7, den: 3}.rec()},
+		{"star", starMsg{star: []int{7, 8, 20}, r: (int64(3) << 31) | 12345, n: n}.rec()},
+		{"term", termMsg{added: []int{4}, n: n}.rec()},
+		{"vote", voteMsg{pairs: []int{1, 2, 3, 4}, n: n}.rec()},
+		{"accept", acceptMsg{star: []int{0, 63}, n: n}.rec()},
 	}
-	for _, tc := range payloads {
-		kind, words, err := encodePayload(tc.p)
+	for _, tc := range recs {
+		kind, words, err := encodePayload(tc.r)
 		if err != nil {
 			t.Fatalf("%s: encode failed: %v", tc.name, err)
 		}
@@ -126,28 +126,39 @@ func TestPayloadCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: decode failed: %v", tc.name, err)
 		}
-		switch want := tc.p.(type) {
-		case densMsg:
-			d := got.(densMsg)
-			if d.raw != want.raw || d.rho != RoundUpPow2(want.raw) {
-				t.Fatalf("dens round trip: got %+v", d)
+		if got.Tag != tc.r.Tag || got.Flag != tc.r.Flag {
+			t.Fatalf("%s: tag/flag round trip: got %+v want %+v", tc.name, got, tc.r)
+		}
+		switch tc.r.Tag {
+		case tagDens, tagMax:
+			// The float fields are recomputed from the shipped rational:
+			// identical to the sender's division, rounding included.
+			if got.F1 != tc.r.F1 || got.F0 != RoundUpPow2(tc.r.F1) || got.A != tc.r.A || got.B != tc.r.B {
+				t.Fatalf("%s round trip: got %+v want %+v", tc.name, got, tc.r)
 			}
-		case maxMsg:
-			d := got.(maxMsg)
-			if d.raw != want.raw {
-				t.Fatalf("max round trip: got %+v", d)
+		default:
+			if got.A != tc.r.A {
+				t.Fatalf("%s: scalar round trip: got %d want %d", tc.name, got.A, tc.r.A)
 			}
-		case starMsg:
-			s := got.(starMsg)
-			if s.r != want.r || len(s.star) != len(want.star) {
-				t.Fatalf("star round trip: got %+v want %+v", s, want)
+			if len(got.Ints) != len(tc.r.Ints) {
+				t.Fatalf("%s: tail length round trip: got %v want %v", tc.name, got.Ints, tc.r.Ints)
 			}
-		case voteMsg:
-			v := got.(voteMsg)
-			if len(v.edges) != len(want.edges) || v.edges[1] != want.edges[1] {
-				t.Fatalf("vote round trip: got %+v", v)
+			for i := range got.Ints {
+				if got.Ints[i] != tc.r.Ints[i] {
+					t.Fatalf("%s: tail round trip: got %v want %v", tc.name, got.Ints, tc.r.Ints)
+				}
 			}
 		}
+	}
+	// Decoding a corrupted stream fails rather than panicking downstream.
+	if _, err := decodePayload(kindDens, []int{1}, n); err == nil {
+		t.Fatal("short density fragment must fail to decode")
+	}
+	if _, err := decodePayload(kindVote, []int{1, 2, 3}, n); err == nil {
+		t.Fatal("odd vote fragment must fail to decode")
+	}
+	if _, err := decodePayload(99, nil, n); err == nil {
+		t.Fatal("unknown kind must fail to decode")
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // undirected graph (the paper's model is bidirectional even for directed
 // spanner problems), so directionality is data, not topology. Like the
 // undirected protocol, state announcements are deltas accumulated by the
-// receivers, and each phase has a distinguishable payload, so idle
+// receivers, and each phase has a distinguishable record tag, so idle
 // vertices park in Recv and re-identify the phase on wake-up.
 
 // dirSpanListMsg announces the sender's newly added outgoing spanner
@@ -24,34 +24,53 @@ type dirSpanListMsg struct {
 	n       int
 }
 
-func (m dirSpanListMsg) Bits() int {
-	return (1 + len(m.outNbrs)) * dist.IDBits(m.n)
-}
+func (m dirSpanListMsg) Bits() int     { return (1 + len(m.outNbrs)) * dist.IDBits(m.n) }
+func (m dirSpanListMsg) rec() dist.Rec { return dist.Rec{Tag: tagDirSpan, Ints: m.outNbrs} }
 
 // dirUncovMsg announces the sender's uncovered outgoing edges by head:
 // the full list once at start-up (full=true), then removals as heads
-// become covered. Phase A.
+// become covered. Phase A. The full/removal distinction is one
+// transmitted bit.
 type dirUncovMsg struct {
 	heads []int
 	full  bool
 	n     int
 }
 
-func (m dirUncovMsg) Bits() int { return (1 + len(m.heads)) * dist.IDBits(m.n) }
-
-// dirStarEntry is one neighbor of a candidate's directed star with the
-// directions taken: in means (nbr -> candidate), out means (candidate ->
-// nbr).
-type dirStarEntry struct {
-	Nbr     int
-	In, Out bool
+func (m dirUncovMsg) Bits() int { return (1+len(m.heads))*dist.IDBits(m.n) + 1 }
+func (m dirUncovMsg) rec() dist.Rec {
+	r := dist.Rec{Tag: tagDirUncov, Ints: m.heads}
+	if m.full {
+		r.Flag = 1
+	}
+	return r
 }
 
-// dirStarMsg announces a candidate's directed star and random rank
-// (phase D; r >= 1), or — with r == -1 — that the star was accepted into
-// the spanner (phase F).
+// Packed directed-star entries: a neighbor id with the directions taken —
+// bit 1 set means (nbr -> candidate) is in the star, bit 0 set means
+// (candidate -> nbr) is.
+const (
+	dirIn  = 2
+	dirOut = 1
+)
+
+func packDirEntry(nbr int, in, out bool) int {
+	e := nbr << 2
+	if in {
+		e |= dirIn
+	}
+	if out {
+		e |= dirOut
+	}
+	return e
+}
+
+// dirStarMsg announces a candidate's directed star (packed entries) and
+// random rank (phase D; r >= 1), or — with r == -1 — that the star was
+// accepted into the spanner (phase F). Each entry is an id plus two
+// direction bits.
 type dirStarMsg struct {
-	entries []dirStarEntry
+	entries []int // packed ids: nbr<<2 | in<<1 | out
 	r       int64
 	n       int
 }
@@ -59,16 +78,19 @@ type dirStarMsg struct {
 func (m dirStarMsg) Bits() int {
 	return (1+len(m.entries))*(dist.IDBits(m.n)+2) + 4*dist.IDBits(m.n)
 }
+func (m dirStarMsg) rec() dist.Rec { return dist.Rec{Tag: tagDirStar, A: m.r, Ints: m.entries} }
 
 // dirTermMsg announces termination: the sender adds the listed uncovered
-// incident directed edges (tail, head) to the spanner. It doubles as the
-// death notice pruning the sender from its peers' folds and broadcasts.
+// incident directed edges (flattened (tail, head) pairs) to the spanner.
+// It doubles as the death notice pruning the sender from its peers' folds
+// and broadcasts.
 type dirTermMsg struct {
-	edges [][2]int
+	pairs []int // flattened (tail, head) pairs; always even length
 	n     int
 }
 
-func (m dirTermMsg) Bits() int { return (1 + 2*len(m.edges)) * dist.IDBits(m.n) }
+func (m dirTermMsg) Bits() int     { return (1 + len(m.pairs)) * dist.IDBits(m.n) }
+func (m dirTermMsg) rec() dist.Rec { return dist.Rec{Tag: tagDirTerm, Ints: m.pairs} }
 
 // DirectedTwoSpanner runs the directed 2-spanner algorithm of Theorem 4.9
 // on the digraph d. The communication topology is d's underlying undirected
@@ -114,30 +136,30 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 	}, nil
 }
 
-// classifyDirected maps a wake inbox to its phase. dirStarMsg serves two
-// phases and is disambiguated by its rank: candidates announce with
-// r >= 1, acceptances carry r == -1.
-func classifyDirected(msgs []dist.Message) uPhase {
-	switch p := msgs[0].Payload.(type) {
-	case dirSpanListMsg:
+// classifyDirected maps a wake inbox to its phase by record tag.
+// tagDirStar serves two phases and is disambiguated by its rank:
+// candidates announce with r >= 1, acceptances carry r == -1.
+func classifyDirected(msgs []dist.InRec) uPhase {
+	switch msgs[0].Tag {
+	case tagDirSpan:
 		return phSpan
-	case dirUncovMsg:
+	case tagDirUncov:
 		return phUncov
-	case densMsg:
+	case tagDens:
 		return phDens
-	case maxMsg:
+	case tagMax:
 		return phMax
-	case dirTermMsg:
+	case tagDirTerm:
 		return phStar
-	case dirStarMsg:
-		if p.r == -1 {
+	case tagDirStar:
+		if msgs[0].A == -1 {
 			return phAccept
 		}
 		return phStar
-	case voteMsg:
+	case tagVote:
 		return phVote
 	}
-	panic("core: unclassifiable directed wake payload")
+	panic("core: unclassifiable directed wake record tag")
 }
 
 // dirDensVal is a neighbor's last announced (rounded, raw) density pair.
@@ -147,12 +169,17 @@ type dirDensVal struct {
 	rho, raw float64
 }
 
-// dirCandidate is one announced directed star this iteration.
+// dirCandidate is one announced directed star this iteration: the
+// candidate's id, its sorted in/out neighbor lists, and its rank.
 type dirCandidate struct {
-	in, out map[int]bool
+	from    int
+	in, out []int // sorted ids
 	r       int64
 }
 
+// directedNode is the per-vertex state, with all per-neighbor state in
+// flat slices indexed by the neighbor's position in the sorted neighbor
+// list (see undirectedNode).
 type directedNode struct {
 	ctx       *dist.Ctx
 	d         *graph.Digraph
@@ -162,35 +189,34 @@ type directedNode struct {
 	tele      *telemetry
 
 	me      int
-	nbrs    []int
-	nbrSet  map[int]bool
-	outEdge map[int]int // head -> directed edge id (me, head)
-	inEdge  map[int]int // tail -> directed edge id (tail, me)
-	covOut  map[int]bool
-	covIn   map[int]bool
-	spanOut map[int]bool
-	spanIn  map[int]bool
-	nbrCnt  map[int]int // directed multiplicity per neighbor (static)
+	nbrs    []int  // sorted neighbor ids
+	hasOut  []bool // per position: directed edge (me, nbr) exists
+	outIdx  []int  // its edge index
+	hasIn   []bool // per position: directed edge (nbr, me) exists
+	inIdx   []int  // its edge index
+	covOut  []bool
+	covIn   []bool
+	spanOut []bool
+	spanIn  []bool
+	nbrCnt  map[int]int // directed multiplicity per neighbor id (static; view input)
 
 	wasCand  bool
 	lastRho  float64
 	prevStar []int
 	runMin   float64 // footnote 7: running minimum of the approximate density
 
-	// Accumulated per-neighbor state, kept in sync by deltas. Scalar
-	// state is indexed by neighbor position (see undirectedNode).
-	nbrPos    map[int]int
+	// Accumulated per-neighbor state, kept in sync by deltas.
 	alive     []bool
-	spanOutOf map[int]map[int]bool
-	uncovOf   map[int]map[int]bool // live neighbor -> its uncovered out-heads
+	spanOutOf [][]int // live neighbor -> its announced out-spanner heads (sorted ids)
+	uncovOf   [][]int // live neighbor -> its uncovered out-heads (sorted ids)
 	densOf    []dirDensVal
 	densKnown []bool
 	hopOf     []dirDensVal
 	hopKnown  []bool
 
 	// Own derived quantities and change tracking.
-	pendingSpan    []int // spanOut additions not yet announced
-	announcedUncov map[int]bool
+	pendingSpan    []int  // spanOut additions not yet announced
+	announcedUncov []bool // per position
 	sentUncovInit  bool
 	view           *dirView
 	viewDirty      bool
@@ -207,9 +233,9 @@ type directedNode struct {
 	// Per-iteration scratch.
 	iter        int
 	isCand      bool
-	myEntries   []dirStarEntry
+	myEntries   []int // packed star entries
 	mySpanCount int
-	cands       map[int]dirCandidate
+	cands       []dirCandidate
 	myVotes     int
 }
 
@@ -217,42 +243,42 @@ func newDirectedNode(ctx *dist.Ctx, d *graph.Digraph, outs [][]int, iters []int,
 	me := ctx.ID()
 	nd := &directedNode{
 		ctx: ctx, d: d, outs: outs, iters: iters, fallbacks: fb,
-		me:             me,
-		nbrs:           ctx.Neighbors(),
-		nbrSet:         make(map[int]bool),
-		outEdge:        make(map[int]int),
-		inEdge:         make(map[int]int),
-		covOut:         make(map[int]bool),
-		covIn:          make(map[int]bool),
-		spanOut:        make(map[int]bool),
-		spanIn:         make(map[int]bool),
-		nbrCnt:         make(map[int]int),
-		runMin:         -1,
-		nbrPos:         make(map[int]int),
-		spanOutOf:      make(map[int]map[int]bool),
-		uncovOf:        make(map[int]map[int]bool),
-		announcedUncov: make(map[int]bool),
-		viewDirty:      true,
-		hopDirty:       true,
-		m2Dirty:        true,
+		me:        me,
+		nbrs:      ctx.Neighbors(),
+		nbrCnt:    make(map[int]int),
+		runMin:    -1,
+		viewDirty: true,
+		hopDirty:  true,
+		m2Dirty:   true,
 	}
 	deg := len(nd.nbrs)
+	nd.hasOut = make([]bool, deg)
+	nd.outIdx = make([]int, deg)
+	nd.hasIn = make([]bool, deg)
+	nd.inIdx = make([]int, deg)
+	nd.covOut = make([]bool, deg)
+	nd.covIn = make([]bool, deg)
+	nd.spanOut = make([]bool, deg)
+	nd.spanIn = make([]bool, deg)
 	nd.alive = make([]bool, deg)
+	nd.spanOutOf = make([][]int, deg)
+	nd.uncovOf = make([][]int, deg)
 	nd.densOf = make([]dirDensVal, deg)
 	nd.densKnown = make([]bool, deg)
 	nd.hopOf = make([]dirDensVal, deg)
 	nd.hopKnown = make([]bool, deg)
+	nd.announcedUncov = make([]bool, deg)
 	for i, u := range nd.nbrs {
-		nd.nbrSet[u] = true
-		nd.nbrPos[u] = i
 		nd.alive[i] = true
 		cnt := 0
 		if idx, ok := d.EdgeIndex(me, u); ok {
-			nd.outEdge[u] = idx
+			nd.hasOut[i] = true
+			nd.outIdx[i] = idx
 			cnt++
 		}
 		if idx, ok := d.EdgeIndex(u, me); ok {
-			nd.inEdge[u] = idx
+			nd.hasIn[i] = true
+			nd.inIdx[i] = idx
 			cnt++
 		}
 		nd.nbrCnt[u] = cnt
@@ -260,20 +286,20 @@ func newDirectedNode(ctx *dist.Ctx, d *graph.Digraph, outs [][]int, iters []int,
 	return nd
 }
 
-// setSpanOut records (me, w) as a spanner member and queues the round-1
-// delta announcing it.
-func (nd *directedNode) setSpanOut(w int) {
-	if !nd.spanOut[w] {
-		nd.spanOut[w] = true
-		nd.pendingSpan = append(nd.pendingSpan, w)
+// setSpanOut records (me, nbrs[i]) as a spanner member and queues the
+// round-1 delta announcing it.
+func (nd *directedNode) setSpanOut(i int) {
+	if !nd.spanOut[i] {
+		nd.spanOut[i] = true
+		nd.pendingSpan = append(nd.pendingSpan, nd.nbrs[i])
 	}
 }
 
-// bcast sends p to every live neighbor.
-func (nd *directedNode) bcast(p dist.Payload) {
+// bcast sends the record to every live neighbor.
+func (nd *directedNode) bcast(r dist.Rec, bits int) {
 	for i, u := range nd.nbrs {
 		if nd.alive[i] {
-			nd.ctx.Send(u, p)
+			nd.ctx.SendRec(u, r, bits)
 		}
 	}
 }
@@ -283,8 +309,8 @@ func (nd *directedNode) parkable() bool {
 	if len(nd.pendingSpan) > 0 || nd.viewDirty || nd.hopDirty || nd.m2Dirty {
 		return false
 	}
-	for w := range nd.announcedUncov {
-		if nd.covOut[w] {
+	for i := range nd.announcedUncov {
+		if nd.announcedUncov[i] && nd.covOut[i] {
 			return false
 		}
 	}
@@ -294,10 +320,10 @@ func (nd *directedNode) parkable() bool {
 func (nd *directedNode) run() {
 	for {
 		start := phSpan
-		var wake []dist.Message
+		var wake []dist.InRec
 		if nd.iter > 0 && nd.parkable() {
 			nd.wasCand, nd.prevStar = false, nil
-			msgs, ok := nd.ctx.Recv()
+			msgs, ok := nd.ctx.RecvRecs()
 			if !ok {
 				nd.finalizeQuiesced()
 				return
@@ -317,16 +343,14 @@ func (nd *directedNode) run() {
 // uncovered incident directed edge (what the termination step would do),
 // then output and halt.
 func (nd *directedNode) finalizeQuiesced() {
-	for w := range nd.outEdge {
-		if !nd.covOut[w] {
-			nd.spanOut[w] = true
-			nd.covOut[w] = true
+	for i := range nd.nbrs {
+		if nd.hasOut[i] && !nd.covOut[i] {
+			nd.spanOut[i] = true
+			nd.covOut[i] = true
 		}
-	}
-	for u := range nd.inEdge {
-		if !nd.covIn[u] {
-			nd.spanIn[u] = true
-			nd.covIn[u] = true
+		if nd.hasIn[i] && !nd.covIn[i] {
+			nd.spanIn[i] = true
+			nd.covIn[i] = true
 		}
 	}
 	if nd.tele != nil {
@@ -339,21 +363,21 @@ func (nd *directedNode) finalizeQuiesced() {
 	nd.emitOutput()
 }
 
-func (nd *directedNode) iteration(start uPhase, wake []dist.Message) bool {
+func (nd *directedNode) iteration(start uPhase, wake []dist.InRec) bool {
 	nd.isCand = false
 	nd.myEntries = nil
 	nd.mySpanCount = 0
-	nd.cands = nil
+	nd.cands = nd.cands[:0]
 	nd.myVotes = 0
 	for ph := start; ph <= phAccept; ph++ {
-		var inbox []dist.Message
+		var inbox []dist.InRec
 		if ph == start && wake != nil {
 			inbox = wake
 		} else {
 			if nd.emit(ph) {
 				return true
 			}
-			inbox = nd.ctx.NextRound()
+			inbox = nd.ctx.NextRoundRecs()
 		}
 		nd.process(ph, inbox)
 	}
@@ -365,7 +389,8 @@ func (nd *directedNode) emit(ph uPhase) bool {
 	case phSpan:
 		if len(nd.pendingSpan) > 0 {
 			sort.Ints(nd.pendingSpan)
-			nd.bcast(dirSpanListMsg{outNbrs: nd.pendingSpan, n: nd.ctx.N()})
+			m := dirSpanListMsg{outNbrs: nd.pendingSpan, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 			nd.pendingSpan = nil
 		}
 	case phUncov:
@@ -376,7 +401,8 @@ func (nd *directedNode) emit(ph uPhase) bool {
 		}
 		dv := dirDensVal{rho: nd.rho, raw: nd.raw}
 		if !nd.densSent || dv != nd.lastDens {
-			nd.bcast(densMsg{rho: nd.rho, raw: nd.raw, wmax: 1})
+			m := densMsg{rho: nd.rho, raw: nd.raw, wmax: 1}
+			nd.bcast(m.rec(), m.Bits())
 			nd.densSent, nd.lastDens = true, dv
 		}
 	case phMax:
@@ -385,7 +411,8 @@ func (nd *directedNode) emit(ph uPhase) bool {
 		}
 		hv := dirDensVal{rho: nd.hopRho, raw: nd.hopRaw}
 		if !nd.hopSent || hv != nd.lastHop {
-			nd.bcast(maxMsg{rho: nd.hopRho, raw: nd.hopRaw, wmax: 1})
+			m := maxMsg{rho: nd.hopRho, raw: nd.hopRaw, wmax: 1}
+			nd.bcast(m.rec(), m.Bits())
 			nd.hopSent, nd.lastHop = true, hv
 		}
 	case phStar:
@@ -398,23 +425,22 @@ func (nd *directedNode) emit(ph uPhase) bool {
 			if nd.tele != nil {
 				nd.tele.bump(nd.tele.term, nd.iter-1)
 			}
-			var added [][2]int
-			for w := range nd.outEdge {
-				if !nd.covOut[w] {
-					nd.spanOut[w] = true
-					nd.covOut[w] = true
-					added = append(added, [2]int{nd.me, w})
+			var added []int
+			for i, u := range nd.nbrs {
+				if nd.hasOut[i] && !nd.covOut[i] {
+					nd.spanOut[i] = true
+					nd.covOut[i] = true
+					added = append(added, nd.me, u)
+				}
+				if nd.hasIn[i] && !nd.covIn[i] {
+					nd.spanIn[i] = true
+					nd.covIn[i] = true
+					added = append(added, u, nd.me)
 				}
 			}
-			for u := range nd.inEdge {
-				if !nd.covIn[u] {
-					nd.spanIn[u] = true
-					nd.covIn[u] = true
-					added = append(added, [2]int{u, nd.me})
-				}
-			}
-			nd.bcast(dirTermMsg{edges: added, n: nd.ctx.N()})
-			nd.ctx.NextRound()
+			m := dirTermMsg{pairs: added, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
+			nd.ctx.NextRoundRecs()
 			nd.emitOutput()
 			return true
 		}
@@ -432,14 +458,15 @@ func (nd *directedNode) emit(ph uPhase) bool {
 				nd.fallbacks.Add(1)
 			}
 			ids := nd.view.starNeighborIDs(sel)
+			nd.myEntries = nd.myEntries[:0]
 			for _, u := range ids {
-				_, hasOut := nd.outEdge[u]
-				_, hasIn := nd.inEdge[u]
-				nd.myEntries = append(nd.myEntries, dirStarEntry{Nbr: u, In: hasIn, Out: hasOut})
+				i := posOf(nd.nbrs, u)
+				nd.myEntries = append(nd.myEntries, packDirEntry(u, nd.hasIn[i], nd.hasOut[i]))
 			}
 			spanned, _ := nd.view.dirValue(sel)
 			nd.mySpanCount = int(spanned + 0.5)
-			nd.bcast(dirStarMsg{entries: nd.myEntries, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()})
+			m := dirStarMsg{entries: nd.myEntries, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 			nd.wasCand, nd.lastRho, nd.prevStar = true, nd.rho, ids
 		} else {
 			nd.wasCand = false
@@ -449,45 +476,48 @@ func (nd *directedNode) emit(ph uPhase) bool {
 		// Each uncovered outgoing edge (me, w) votes, owned by its tail.
 		// The candidate v 2-spans (me, w) iff (me, v) and (v, w) are in
 		// S_v: v's star has an In entry for me and an Out entry for w.
-		votes := make(map[int][][2]int)
-		heads := make([]int, 0, len(nd.outEdge))
-		for w := range nd.outEdge {
-			if !nd.covOut[w] {
-				heads = append(heads, w)
+		var votes map[int][]int
+		for i, w := range nd.nbrs {
+			if !nd.hasOut[i] || nd.covOut[i] {
+				continue
 			}
-		}
-		sort.Ints(heads)
-		for _, w := range heads {
 			bestV, bestR := -1, int64(0)
-			for vid, c := range nd.cands {
-				if !c.in[nd.me] || !c.out[w] {
+			for ci := range nd.cands {
+				c := &nd.cands[ci]
+				if !containsSorted(c.in, nd.me) || !containsSorted(c.out, w) {
 					continue
 				}
-				if bestV < 0 || c.r < bestR || (c.r == bestR && vid < bestV) {
-					bestV, bestR = vid, c.r
+				if bestV < 0 || c.r < bestR || (c.r == bestR && c.from < bestV) {
+					bestV, bestR = c.from, c.r
 				}
 			}
 			if bestV >= 0 {
-				votes[bestV] = append(votes[bestV], [2]int{nd.me, w})
+				if votes == nil {
+					votes = make(map[int][]int)
+				}
+				votes[bestV] = append(votes[bestV], nd.me, w)
 			}
 		}
-		for vid, es := range votes {
-			nd.ctx.Send(vid, voteMsg{edges: es, n: nd.ctx.N()})
+		for _, vid := range sortedKeys(votes) {
+			m := voteMsg{pairs: votes[vid], n: nd.ctx.N()}
+			nd.ctx.SendRec(vid, m.rec(), m.Bits())
 		}
 	case phAccept:
 		if nd.isCand && 8*nd.myVotes >= nd.mySpanCount && nd.mySpanCount > 0 {
 			if nd.tele != nil {
 				nd.tele.bump(nd.tele.accept, nd.iter-1)
 			}
-			for _, en := range nd.myEntries {
-				if en.Out {
-					nd.setSpanOut(en.Nbr)
+			for _, e := range nd.myEntries {
+				i := posOf(nd.nbrs, e>>2)
+				if e&dirOut != 0 {
+					nd.setSpanOut(i)
 				}
-				if en.In {
-					nd.spanIn[en.Nbr] = true
+				if e&dirIn != 0 {
+					nd.spanIn[i] = true
 				}
 			}
-			nd.bcast(dirStarMsg{entries: nd.myEntries, r: -1, n: nd.ctx.N()})
+			m := dirStarMsg{entries: nd.myEntries, r: -1, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 		}
 	}
 	return false
@@ -497,166 +527,177 @@ func (nd *directedNode) emitUncov() {
 	if !nd.sentUncovInit {
 		nd.sentUncovInit = true
 		var full []int
-		for w := range nd.outEdge {
-			if !nd.covOut[w] {
+		for i, w := range nd.nbrs {
+			if nd.hasOut[i] && !nd.covOut[i] {
 				full = append(full, w)
-				nd.announcedUncov[w] = true
+				nd.announcedUncov[i] = true
 			}
 		}
-		sort.Ints(full)
-		nd.bcast(dirUncovMsg{heads: full, full: true, n: nd.ctx.N()})
+		m := dirUncovMsg{heads: full, full: true, n: nd.ctx.N()}
+		nd.bcast(m.rec(), m.Bits())
 		return
 	}
 	var dels []int
-	for w := range nd.announcedUncov {
-		if nd.covOut[w] {
+	for i, w := range nd.nbrs {
+		if nd.announcedUncov[i] && nd.covOut[i] {
 			dels = append(dels, w)
+			nd.announcedUncov[i] = false
 		}
 	}
 	if len(dels) == 0 {
 		return
 	}
-	sort.Ints(dels)
-	for _, w := range dels {
-		delete(nd.announcedUncov, w)
-	}
-	nd.bcast(dirUncovMsg{heads: dels, n: nd.ctx.N()})
+	m := dirUncovMsg{heads: dels, n: nd.ctx.N()}
+	nd.bcast(m.rec(), m.Bits())
 }
 
-func (nd *directedNode) process(ph uPhase, inbox []dist.Message) {
+func (nd *directedNode) process(ph uPhase, inbox []dist.InRec) {
+	j := 0
 	switch ph {
 	case phSpan:
-		for _, m := range inbox {
-			p, ok := m.Payload.(dirSpanListMsg)
-			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagDirSpan {
 				continue
 			}
-			set := nd.spanOutOf[m.From]
-			if set == nil {
-				set = make(map[int]bool, len(p.outNbrs))
-				nd.spanOutOf[m.From] = set
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
+				continue
 			}
-			for _, w := range p.outNbrs {
-				set[w] = true
-			}
+			nd.spanOutOf[j] = mergeSorted(nd.spanOutOf[j], r.Ints)
 		}
 		nd.updateCoverage()
 	case phUncov:
-		for _, m := range inbox {
-			p, ok := m.Payload.(dirUncovMsg)
-			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagDirUncov {
 				continue
 			}
-			if p.full {
-				nd.uncovOf[m.From] = sliceToSet(p.heads)
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
+				continue
+			}
+			if r.Flag != 0 {
+				nd.uncovOf[j] = append(nd.uncovOf[j][:0], r.Ints...)
 			} else {
-				set := nd.uncovOf[m.From]
-				for _, w := range p.heads {
-					delete(set, w)
-				}
+				nd.uncovOf[j] = removeSorted(nd.uncovOf[j], r.Ints)
 			}
 			nd.viewDirty = true
 		}
 	case phDens:
-		for _, m := range inbox {
-			p, ok := m.Payload.(densMsg)
-			if !ok {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagDens {
 				continue
 			}
-			i := nd.nbrPos[m.From]
-			if !nd.alive[i] {
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
 				continue
 			}
-			nd.densOf[i] = dirDensVal{rho: p.rho, raw: p.raw}
-			nd.densKnown[i] = true
+			nd.densOf[j] = dirDensVal{rho: r.F0, raw: r.F1}
+			nd.densKnown[j] = true
 			nd.hopDirty = true
 		}
 	case phMax:
-		for _, m := range inbox {
-			p, ok := m.Payload.(maxMsg)
-			if !ok {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagMax {
 				continue
 			}
-			i := nd.nbrPos[m.From]
-			if !nd.alive[i] {
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
 				continue
 			}
-			nd.hopOf[i] = dirDensVal{rho: p.rho, raw: p.raw}
-			nd.hopKnown[i] = true
+			nd.hopOf[j] = dirDensVal{rho: r.F0, raw: r.F1}
+			nd.hopKnown[j] = true
 			nd.m2Dirty = true
 		}
 	case phStar:
-		for _, m := range inbox {
-			switch p := m.Payload.(type) {
-			case dirTermMsg:
-				nd.processDeath(m.From, p.edges)
-			case dirStarMsg:
-				c := dirCandidate{in: map[int]bool{}, out: map[int]bool{}, r: p.r}
-				for _, en := range p.entries {
-					if en.In {
-						c.in[en.Nbr] = true
+		for i := range inbox {
+			r := &inbox[i]
+			j = seekPos(nd.nbrs, j, r.From)
+			switch r.Tag {
+			case tagDirTerm:
+				nd.processDeath(j, r.Ints)
+			case tagDirStar:
+				// Unpack the star into sorted in/out lists (entries are
+				// packed in ascending neighbor order), copying out of the
+				// arena since candidates are retained across rounds.
+				c := dirCandidate{from: r.From, r: r.A}
+				for _, e := range r.Ints {
+					if e&dirIn != 0 {
+						c.in = append(c.in, e>>2)
 					}
-					if en.Out {
-						c.out[en.Nbr] = true
+					if e&dirOut != 0 {
+						c.out = append(c.out, e>>2)
 					}
 				}
-				if nd.cands == nil {
-					nd.cands = make(map[int]dirCandidate)
-				}
-				nd.cands[m.From] = c
+				nd.cands = append(nd.cands, c)
 			}
 		}
 	case phVote:
-		for _, m := range inbox {
-			if p, ok := m.Payload.(voteMsg); ok {
-				nd.myVotes += len(p.edges)
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag == tagVote {
+				nd.myVotes += len(r.Ints) / 2
 			}
 		}
 	case phAccept:
-		for _, m := range inbox {
-			p, ok := m.Payload.(dirStarMsg)
-			if !ok || p.r != -1 {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagDirStar || r.A != -1 {
 				continue
 			}
-			for _, en := range p.entries {
-				if en.Nbr != nd.me {
+			j = seekPos(nd.nbrs, j, r.From)
+			for _, e := range r.Ints {
+				if e>>2 != nd.me {
 					continue
 				}
-				if en.Out { // (sender, me) in spanner
-					nd.spanIn[m.From] = true
+				if e&dirOut != 0 { // (sender, me) in spanner
+					nd.spanIn[j] = true
 				}
-				if en.In { // (me, sender) in spanner
-					nd.setSpanOut(m.From)
+				if e&dirIn != 0 { // (me, sender) in spanner
+					nd.setSpanOut(j)
 				}
 			}
 		}
 	}
 }
 
-// processDeath handles a neighbor's termination: record the direct-added
-// edges touching this vertex, then prune the sender from every fold.
-func (nd *directedNode) processDeath(from int, edges [][2]int) {
-	for _, e := range edges {
-		if e[0] == nd.me {
-			nd.setSpanOut(e[1])
-			nd.covOut[e[1]] = true
+// processDeath handles the termination of the neighbor at position i:
+// record the direct-added edges touching this vertex, then prune the
+// sender from every fold. pairs is the flattened (tail, head) list.
+func (nd *directedNode) processDeath(i int, pairs []int) {
+	for k := 0; k+1 < len(pairs); k += 2 {
+		tail, head := pairs[k], pairs[k+1]
+		if tail == nd.me {
+			p := posOf(nd.nbrs, head)
+			nd.setSpanOut(p)
+			nd.covOut[p] = true
 		}
-		if e[1] == nd.me {
-			nd.spanIn[e[0]] = true
-			nd.covIn[e[0]] = true
+		if head == nd.me {
+			p := posOf(nd.nbrs, tail)
+			nd.spanIn[p] = true
+			nd.covIn[p] = true
 		}
 	}
-	i := nd.nbrPos[from]
 	nd.alive[i] = false
 	nd.densKnown[i] = false
 	nd.hopKnown[i] = false
-	delete(nd.spanOutOf, from)
-	if set := nd.uncovOf[from]; len(set) > 0 {
+	nd.spanOutOf[i] = nil
+	if len(nd.uncovOf[i]) > 0 {
 		nd.viewDirty = true
 	}
-	delete(nd.uncovOf, from)
+	nd.uncovOf[i] = nil
 	nd.hopDirty = true
 	nd.m2Dirty = true
+}
+
+// idxOf resolves an id to its position in the sorted neighbor list,
+// reporting whether it is a neighbor at all.
+func idxOf(nbrs []int, id int) (int, bool) {
+	i := sort.SearchInts(nbrs, id)
+	return i, i < len(nbrs) && nbrs[i] == id
 }
 
 // updateCoverage marks directed incident edges covered when in the spanner
@@ -665,42 +706,38 @@ func (nd *directedNode) processDeath(from int, edges [][2]int) {
 func (nd *directedNode) updateCoverage() {
 	// Outgoing edge (me, w): covered by (me, x) ∈ spanner and (x, w) ∈
 	// spanner, learned from x's out-list.
-	for w := range nd.outEdge {
-		if nd.covOut[w] {
+	for i, w := range nd.nbrs {
+		if !nd.hasOut[i] || nd.covOut[i] {
 			continue
 		}
-		if nd.spanOut[w] {
-			nd.covOut[w] = true
+		if nd.spanOut[i] {
+			nd.covOut[i] = true
 			continue
 		}
-		for x, outX := range nd.spanOutOf {
-			if nd.spanOut[x] && outX[w] {
-				nd.covOut[w] = true
+		for x := range nd.nbrs {
+			if nd.spanOut[x] && nd.alive[x] && containsSorted(nd.spanOutOf[x], w) {
+				nd.covOut[i] = true
 				break
 			}
 		}
 	}
 	// Incoming edge (u, me): covered by (u, x) ∈ spanner (from u's
 	// out-list) and (x, me) ∈ spanner (own incoming spanner state).
-	for u := range nd.inEdge {
-		if nd.covIn[u] {
+	for i := range nd.nbrs {
+		if !nd.hasIn[i] || nd.covIn[i] {
 			continue
 		}
-		if nd.spanIn[u] {
-			nd.covIn[u] = true
+		if nd.spanIn[i] {
+			nd.covIn[i] = true
 			continue
 		}
-		outU := nd.spanOutOf[u]
-		if outU == nil {
-			continue
-		}
-		for x := range outU {
+		for _, x := range nd.spanOutOf[i] {
 			if x == nd.me {
 				continue
 			}
-			if nd.spanIn[x] && nd.nbrSet[x] {
+			if p, ok := idxOf(nd.nbrs, x); ok && nd.spanIn[p] {
 				// (u, x) ∈ spanner and (x, me) ∈ spanner.
-				nd.covIn[u] = true
+				nd.covIn[i] = true
 				break
 			}
 		}
@@ -713,24 +750,15 @@ func (nd *directedNode) updateCoverage() {
 func (nd *directedNode) rebuildView() {
 	nd.viewDirty = false
 	var hDir [][2]int
-	for _, u := range nd.nbrs {
-		if _, hasIn := nd.inEdge[u]; !hasIn {
+	for i, u := range nd.nbrs {
+		if !nd.hasIn[i] {
 			continue // star cannot use (u, me): no such edge
 		}
-		set := nd.uncovOf[u]
-		if len(set) == 0 {
-			continue
-		}
-		ws := make([]int, 0, len(set))
-		for w := range set {
-			ws = append(ws, w)
-		}
-		sort.Ints(ws)
-		for _, w := range ws {
-			if w == nd.me || !nd.nbrSet[w] {
+		for _, w := range nd.uncovOf[i] {
+			if w == nd.me {
 				continue
 			}
-			if _, hasOut := nd.outEdge[w]; hasOut {
+			if p, ok := idxOf(nd.nbrs, w); ok && nd.hasOut[p] {
 				hDir = append(hDir, [2]int{u, w})
 			}
 		}
@@ -785,14 +813,12 @@ func (nd *directedNode) refoldM2() {
 
 func (nd *directedNode) emitOutput() {
 	var out []int
-	for w, in := range nd.spanOut {
-		if in {
-			out = append(out, nd.outEdge[w])
+	for i := range nd.nbrs {
+		if nd.spanOut[i] {
+			out = append(out, nd.outIdx[i])
 		}
-	}
-	for u, in := range nd.spanIn {
-		if in {
-			out = append(out, nd.inEdge[u])
+		if nd.spanIn[i] {
+			out = append(out, nd.inIdx[i])
 		}
 	}
 	sort.Ints(out)

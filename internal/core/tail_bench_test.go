@@ -70,6 +70,32 @@ func BenchmarkTwoSpannerDeepTail(b *testing.B) {
 	}
 }
 
+// BenchmarkTwoSpannerBusy is the tail-less counterweight to the tail
+// benchmarks: a uniform sparse G(n, 8/n) where density levels resolve
+// nearly in lockstep, so most vertices are active in most rounds and the
+// run is dominated by busy phases — the regime that pays the delta
+// receivers' per-message decode cost rather than profiting from parking.
+// This is the yardstick for the flat-buffer inbox path.
+func BenchmarkTwoSpannerBusy(b *testing.B) {
+	for _, n := range []int{4096, 8192} {
+		g := gen.ConnectedGNP(n, 8.0/float64(n), 1)
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				var stats dist.Stats
+				for i := 0; i < b.N; i++ {
+					res, err := TwoSpanner(g, Options{Seed: 1, ExecMode: mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = res.Stats
+				}
+				b.StopTimer()
+				reportTail(b, stats)
+			})
+		}
+	}
+}
+
 // BenchmarkMDSTail runs the CONGEST MDS on a sparse G(n, 8/n) where
 // domination spreads in waves and the covered interior halts or parks.
 func BenchmarkMDSTail(b *testing.B) {

@@ -234,23 +234,24 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 	}, nil
 }
 
-// roundCtx is the per-vertex network surface the protocol needs. It is
-// satisfied by *dist.Ctx (the LOCAL implementation) and by *congestCtx
-// (the fragmenting CONGEST adapter of Section 1.3's discussion). Recv
-// parks the vertex until a delivery arrives — in the CONGEST adapter it
-// parks across whole logical-round windows.
+// roundCtx is the per-vertex network surface the protocol needs: the
+// engine's flat-buffer record path. It is satisfied by *dist.Ctx (the
+// LOCAL implementation) and by *congestCtx (the fragmenting CONGEST
+// adapter of Section 1.3's discussion). RecvRecs parks the vertex until a
+// delivery arrives — in the CONGEST adapter it parks across whole
+// logical-round windows.
 type roundCtx interface {
 	ID() int
 	N() int
 	Neighbors() []int
 	Rand() *rand.Rand
-	Send(to int, p dist.Payload)
-	NextRound() []dist.Message
-	Recv() ([]dist.Message, bool)
+	SendRec(to int, r dist.Rec, bits int)
+	NextRoundRecs() []dist.InRec
+	RecvRecs() ([]dist.InRec, bool)
 }
 
 // uPhase indexes the seven rounds of one iteration of the undirected
-// protocol. Each phase has disjoint payload types, which is how a vertex
+// protocol. Each phase has disjoint record tags, which is how a vertex
 // woken from Recv re-identifies the network's current phase.
 type uPhase int
 
@@ -264,27 +265,90 @@ const (
 	phAccept                   // round 7 (F): acceptMsg
 )
 
-// classifyUndirected maps a wake inbox to its phase. One inbox is always
-// one phase: every sender is phase-aligned and each phase's payload types
-// are disjoint.
-func classifyUndirected(msgs []dist.Message) uPhase {
-	switch msgs[0].Payload.(type) {
-	case spanListMsg:
+// classifyUndirected maps a wake inbox to its phase by record tag. One
+// inbox is always one phase: every sender is phase-aligned and each
+// phase's tags are disjoint.
+func classifyUndirected(msgs []dist.InRec) uPhase {
+	switch msgs[0].Tag {
+	case tagSpan:
 		return phSpan
-	case uncovMsg:
+	case tagUncov:
 		return phUncov
-	case densMsg:
+	case tagDens:
 		return phDens
-	case maxMsg:
+	case tagMax:
 		return phMax
-	case starMsg, termMsg:
+	case tagStar, tagTerm:
 		return phStar
-	case voteMsg:
+	case tagVote:
 		return phVote
-	case acceptMsg:
+	case tagAccept:
 		return phAccept
 	}
-	panic("core: unclassifiable wake payload")
+	panic("core: unclassifiable wake record tag")
+}
+
+// seekPos is dist.SeekPos: the monotone sender-position merge scan over
+// the sorted neighbor list that replaces per-message map lookups.
+func seekPos(nbrs []int, j, from int) int { return dist.SeekPos(nbrs, j, from) }
+
+// posOf is the cold-path id -> position lookup (binary search) for ids
+// that must be neighbors; it panics on a miss rather than silently
+// resolving to the insertion slot. Use idxOf when absence is legitimate.
+func posOf(nbrs []int, id int) int {
+	i, ok := idxOf(nbrs, id)
+	if !ok {
+		panic("core: id is not a neighbor")
+	}
+	return i
+}
+
+// containsSorted reports whether the sorted slice s contains x.
+func containsSorted(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// mergeSorted merges the sorted, duplicate-free slice add into the sorted
+// slice dst in place (merging from the back after growing), returning the
+// merged slice. add may alias an inbox arena; its values are copied.
+func mergeSorted(dst, add []int) []int {
+	if len(add) == 0 {
+		return dst
+	}
+	if len(dst) == 0 || dst[len(dst)-1] < add[0] {
+		return append(dst, add...)
+	}
+	i, j := len(dst)-1, len(add)-1
+	dst = append(dst, add...)
+	for k := len(dst) - 1; j >= 0; k-- {
+		if i >= 0 && dst[i] > add[j] {
+			dst[k] = dst[i]
+			i--
+		} else {
+			dst[k] = add[j]
+			j--
+		}
+	}
+	return dst
+}
+
+// removeSorted deletes the sorted values of del from the sorted slice dst
+// in place, returning the shortened slice.
+func removeSorted(dst, del []int) []int {
+	if len(del) == 0 || len(dst) == 0 {
+		return dst
+	}
+	out := dst[:0]
+	k := 0
+	for _, v := range dst {
+		if k < len(del) && del[k] == v {
+			k++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // densVal is a neighbor's last announced density or 1-hop maximum: the
@@ -297,13 +361,19 @@ type densVal struct {
 	wmax     float64
 }
 
-// candidate is one announced star this iteration.
-type candidate struct {
-	star map[int]bool
+// candRec is one announced star this iteration: the candidate's id, its
+// sorted star neighbor ids, and its random rank.
+type candRec struct {
+	from int
+	star []int
 	r    int64
 }
 
-// undirectedNode is the per-vertex state of the protocol.
+// undirectedNode is the per-vertex state of the protocol. All
+// per-neighbor state is held in flat slices indexed by the neighbor's
+// position in the sorted neighbor list: inbox decoding resolves sender
+// positions with a merge scan (seekPos), and the folds and broadcasts
+// scan slices with no map in sight.
 type undirectedNode struct {
 	ctx       roundCtx
 	g         *graph.Graph
@@ -316,10 +386,9 @@ type undirectedNode struct {
 
 	me      int
 	nbrs    []int // sorted neighbor ids
-	nbrSet  map[int]bool
-	edgeOf  map[int]int // neighbor id -> incident edge index
-	covered map[int]bool
-	inSpan  map[int]bool
+	edgeIdx []int // incident edge index per position
+	covered []bool
+	inSpan  []bool
 	myWmax  float64
 
 	// Monotone star-choice state (Section 4.1).
@@ -327,24 +396,22 @@ type undirectedNode struct {
 	lastRho  float64
 	prevStar []int // neighbor ids of last chosen star (selectable + free)
 
-	// Accumulated per-neighbor state, kept in sync by deltas. A live
-	// neighbor's entry always equals what the classic all-broadcast
-	// execution would have received from it this iteration. Scalar state
-	// is indexed by the neighbor's position in nbrs so the folds and
-	// broadcasts scan slices; only inbox processing pays an id->position
-	// lookup.
-	nbrPos    map[int]int
+	// Accumulated per-neighbor state, kept in sync by deltas, all indexed
+	// by neighbor position. A live neighbor's entry always equals what the
+	// classic all-broadcast execution would have received from it this
+	// iteration. spanOf/uncovOf are sorted id lists maintained by
+	// merge/remove — the flat replacement for the old map-of-sets fold.
 	alive     []bool
-	spanOf    map[int]map[int]bool // live neighbor -> its incident spanner edges
-	uncovOf   map[int]map[int]bool // live neighbor -> its uncovered target edges
+	spanOf    [][]int // live neighbor -> its incident spanner edges (sorted ids)
+	uncovOf   [][]int // live neighbor -> its uncovered target edges (sorted ids)
 	densOf    []densVal
 	densKnown []bool
 	hopOf     []densVal
 	hopKnown  []bool
 
 	// Own derived quantities and the change-tracking behind the deltas.
-	pendingSpan    []int // inSpan additions not yet announced (round 1)
-	announcedUncov map[int]bool
+	pendingSpan    []int  // inSpan additions not yet announced (round 1)
+	announcedUncov []bool // per position: uncovered edge announced, removal owed when covered
 	sentUncovInit  bool
 	view           *localView
 	viewDirty      bool // uncovOf changed since the view was built
@@ -368,7 +435,7 @@ type undirectedNode struct {
 	isCand      bool
 	myStar      []int
 	mySpanCount int
-	cands       map[int]candidate
+	cands       []candRec
 	myVotes     int
 }
 
@@ -376,63 +443,60 @@ func newUndirectedNode(ctx roundCtx, g *graph.Graph, v variant, outs [][]int, it
 	me := ctx.ID()
 	nd := &undirectedNode{
 		ctx: ctx, g: g, v: v, outs: outs, iters: iters, fallbacks: fb,
-		me:             me,
-		nbrs:           ctx.Neighbors(),
-		nbrSet:         make(map[int]bool),
-		edgeOf:         make(map[int]int),
-		covered:        make(map[int]bool),
-		inSpan:         make(map[int]bool),
-		nbrPos:         make(map[int]int),
-		spanOf:         make(map[int]map[int]bool),
-		uncovOf:        make(map[int]map[int]bool),
-		announcedUncov: make(map[int]bool),
-		viewDirty:      true,
-		hopDirty:       true,
-		m2Dirty:        true,
+		me:        me,
+		nbrs:      ctx.Neighbors(),
+		viewDirty: true,
+		hopDirty:  true,
+		m2Dirty:   true,
 	}
 	deg := len(nd.nbrs)
+	nd.edgeIdx = make([]int, deg)
+	nd.covered = make([]bool, deg)
+	nd.inSpan = make([]bool, deg)
 	nd.alive = make([]bool, deg)
+	nd.spanOf = make([][]int, deg)
+	nd.uncovOf = make([][]int, deg)
 	nd.densOf = make([]densVal, deg)
 	nd.densKnown = make([]bool, deg)
 	nd.hopOf = make([]densVal, deg)
 	nd.hopKnown = make([]bool, deg)
+	nd.announcedUncov = make([]bool, deg)
 	for i, u := range nd.nbrs {
 		idx, ok := g.EdgeIndex(me, u)
 		if !ok {
 			panic("core: neighbor without edge")
 		}
-		nd.nbrSet[u] = true
-		nd.edgeOf[u] = idx
-		nd.nbrPos[u] = i
+		nd.edgeIdx[i] = idx
 		nd.alive[i] = true
 		if !v.target(idx) {
 			// Non-target edges never need covering.
-			nd.covered[u] = true
+			nd.covered[i] = true
 		}
 		if g.Weighted() && g.Weight(idx) == 0 && v.starEdge(idx) {
 			// Weighted pre-pass: all zero-weight edges join the spanner.
-			nd.setInSpan(u)
+			nd.setInSpan(i)
 		}
 		nd.myWmax = maxf(nd.myWmax, g.Weight(idx))
 	}
 	return nd
 }
 
-// setInSpan records edge (me, u) as a spanner member and queues the
-// round-1 delta announcing it.
-func (nd *undirectedNode) setInSpan(u int) {
-	if !nd.inSpan[u] {
-		nd.inSpan[u] = true
-		nd.pendingSpan = append(nd.pendingSpan, u)
+// setInSpan records the edge to the neighbor at position i as a spanner
+// member and queues the round-1 delta announcing it.
+func (nd *undirectedNode) setInSpan(i int) {
+	if !nd.inSpan[i] {
+		nd.inSpan[i] = true
+		nd.pendingSpan = append(nd.pendingSpan, nd.nbrs[i])
 	}
 }
 
-// bcast sends p to every live neighbor: terminated vertices are pruned
-// from all broadcasts.
-func (nd *undirectedNode) bcast(p dist.Payload) {
+// bcast sends the record to every live neighbor: terminated vertices are
+// pruned from all broadcasts. The record's Ints tail is staged once in
+// the sender's arena and shared across the fan-out.
+func (nd *undirectedNode) bcast(r dist.Rec, bits int) {
 	for i, u := range nd.nbrs {
 		if nd.alive[i] {
-			nd.ctx.Send(u, p)
+			nd.ctx.SendRec(u, r, bits)
 		}
 	}
 }
@@ -445,8 +509,8 @@ func (nd *undirectedNode) parkable() bool {
 	if len(nd.pendingSpan) > 0 || nd.viewDirty || nd.hopDirty || nd.m2Dirty {
 		return false
 	}
-	for u := range nd.announcedUncov {
-		if nd.covered[u] {
+	for i := range nd.announcedUncov {
+		if nd.announcedUncov[i] && nd.covered[i] {
 			return false // owes an uncovered-list removal
 		}
 	}
@@ -457,13 +521,13 @@ func (nd *undirectedNode) parkable() bool {
 func (nd *undirectedNode) run() {
 	for {
 		start := phSpan
-		var wake []dist.Message
+		var wake []dist.InRec
 		if nd.iter > 0 && nd.parkable() {
 			// Parked iterations are not candidate iterations: the
 			// monotone-star continuation resets exactly as it would have
 			// in the spinning execution.
 			nd.wasCand, nd.prevStar = false, nil
-			msgs, ok := nd.ctx.Recv()
+			msgs, ok := nd.ctx.RecvRecs()
 			if !ok {
 				nd.finalizeQuiesced()
 				return
@@ -487,10 +551,10 @@ func (nd *undirectedNode) run() {
 // 2-neighborhood always contains an active candidate until the vertex
 // itself becomes terminal, so runs normally end by explicit termination.
 func (nd *undirectedNode) finalizeQuiesced() {
-	for _, u := range nd.nbrs {
-		if !nd.covered[u] && nd.v.directAdd(nd.edgeOf[u]) {
-			nd.inSpan[u] = true
-			nd.covered[u] = true
+	for i := range nd.nbrs {
+		if !nd.covered[i] && nd.v.directAdd(nd.edgeIdx[i]) {
+			nd.inSpan[i] = true
+			nd.covered[i] = true
 		}
 	}
 	if nd.tele != nil {
@@ -506,21 +570,21 @@ func (nd *undirectedNode) finalizeQuiesced() {
 // iteration executes one iteration from phase start (start > phSpan when
 // resuming from a parked wake, whose pre-delivered inbox is wake). It
 // returns true when the vertex terminated.
-func (nd *undirectedNode) iteration(start uPhase, wake []dist.Message) bool {
+func (nd *undirectedNode) iteration(start uPhase, wake []dist.InRec) bool {
 	nd.isCand = false
 	nd.myStar = nil
 	nd.mySpanCount = 0
-	nd.cands = nil
+	nd.cands = nd.cands[:0]
 	nd.myVotes = 0
 	for ph := start; ph <= phAccept; ph++ {
-		var inbox []dist.Message
+		var inbox []dist.InRec
 		if ph == start && wake != nil {
 			inbox = wake // woken into this phase: inbox already delivered
 		} else {
 			if nd.emit(ph) {
 				return true // terminal: announced and flushed in emit
 			}
-			inbox = nd.ctx.NextRound()
+			inbox = nd.ctx.NextRoundRecs()
 		}
 		nd.process(ph, inbox)
 	}
@@ -535,7 +599,8 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 	case phSpan:
 		if len(nd.pendingSpan) > 0 {
 			sort.Ints(nd.pendingSpan)
-			nd.bcast(spanListMsg{nbrs: nd.pendingSpan, n: nd.ctx.N()})
+			m := spanListMsg{nbrs: nd.pendingSpan, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 			nd.pendingSpan = nil
 		}
 	case phUncov:
@@ -546,7 +611,8 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 		}
 		dv := densVal{raw: nd.raw, num: nd.num, den: nd.den, wmax: nd.myWmax}
 		if !nd.densSent || dv != nd.lastDens {
-			nd.bcast(densMsg{rho: nd.rho, raw: nd.raw, wmax: nd.myWmax, num: nd.num, den: nd.den})
+			m := densMsg{rho: nd.rho, raw: nd.raw, wmax: nd.myWmax, num: nd.num, den: nd.den}
+			nd.bcast(m.rec(), m.Bits())
 			nd.densSent, nd.lastDens = true, dv
 		}
 	case phMax:
@@ -555,7 +621,8 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 		}
 		hv := densVal{raw: nd.hopRaw, num: nd.hopNum, den: nd.hopDen, wmax: nd.hopW}
 		if !nd.hopSent || hv != nd.lastHop {
-			nd.bcast(maxMsg{rho: RoundUpPow2(nd.hopRaw), raw: nd.hopRaw, wmax: nd.hopW, num: nd.hopNum, den: nd.hopDen})
+			m := maxMsg{rho: RoundUpPow2(nd.hopRaw), raw: nd.hopRaw, wmax: nd.hopW, num: nd.hopNum, den: nd.hopDen}
+			nd.bcast(m.rec(), m.Bits())
 			nd.hopSent, nd.lastHop = true, hv
 		}
 	case phStar:
@@ -572,15 +639,16 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 				nd.tele.bump(nd.tele.term, nd.iter-1)
 			}
 			var added []int
-			for _, u := range nd.nbrs {
-				if !nd.covered[u] && nd.v.directAdd(nd.edgeOf[u]) {
-					nd.inSpan[u] = true
-					nd.covered[u] = true
+			for i, u := range nd.nbrs {
+				if !nd.covered[i] && nd.v.directAdd(nd.edgeIdx[i]) {
+					nd.inSpan[i] = true
+					nd.covered[i] = true
 					added = append(added, u)
 				}
 			}
-			nd.bcast(termMsg{added: added, n: nd.ctx.N()})
-			nd.ctx.NextRound() // flush the announcement
+			m := termMsg{added: added, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
+			nd.ctx.NextRoundRecs() // flush the announcement
 			nd.emitOutput()
 			return true
 		}
@@ -601,7 +669,8 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 			nd.myStar = nd.view.starNeighborIDs(sel)
 			spanned, _ := nd.view.starValue(sel)
 			nd.mySpanCount = int(spanned + 0.5)
-			nd.bcast(starMsg{star: nd.myStar, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()})
+			m := starMsg{star: nd.myStar, r: 1 + nd.ctx.Rand().Int63n(1<<62), n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 			nd.wasCand, nd.lastRho = true, nd.rho
 			nd.prevStar = nd.myStar
 		} else {
@@ -611,26 +680,31 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 	case phVote:
 		// Each owned uncovered edge votes for the first candidate (by
 		// (r, id)) that 2-spans it.
-		votes := make(map[int][][2]int)
-		for _, u := range nd.nbrs {
-			if nd.covered[u] || nd.me > u {
+		var votes map[int][]int
+		for i, u := range nd.nbrs {
+			if nd.covered[i] || nd.me > u {
 				continue // not an owner, or nothing to vote for
 			}
 			bestV, bestR := -1, int64(0)
-			for vid, c := range nd.cands {
-				if !c.star[nd.me] || !c.star[u] {
+			for ci := range nd.cands {
+				c := &nd.cands[ci]
+				if !containsSorted(c.star, nd.me) || !containsSorted(c.star, u) {
 					continue
 				}
-				if bestV < 0 || c.r < bestR || (c.r == bestR && vid < bestV) {
-					bestV, bestR = vid, c.r
+				if bestV < 0 || c.r < bestR || (c.r == bestR && c.from < bestV) {
+					bestV, bestR = c.from, c.r
 				}
 			}
 			if bestV >= 0 {
-				votes[bestV] = append(votes[bestV], [2]int{nd.me, u})
+				if votes == nil {
+					votes = make(map[int][]int)
+				}
+				votes[bestV] = append(votes[bestV], nd.me, u)
 			}
 		}
-		for vid, es := range votes {
-			nd.ctx.Send(vid, voteMsg{edges: es, n: nd.ctx.N()})
+		for _, vid := range sortedKeys(votes) {
+			m := voteMsg{pairs: votes[vid], n: nd.ctx.N()}
+			nd.ctx.SendRec(vid, m.rec(), m.Bits())
 		}
 	case phAccept:
 		if nd.isCand && nd.opts.voteDenominator()*nd.myVotes >= nd.mySpanCount && nd.mySpanCount > 0 {
@@ -638,12 +712,24 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 				nd.tele.bump(nd.tele.accept, nd.iter-1)
 			}
 			for _, u := range nd.myStar {
-				nd.setInSpan(u)
+				nd.setInSpan(posOf(nd.nbrs, u))
 			}
-			nd.bcast(acceptMsg{star: nd.myStar, n: nd.ctx.N()})
+			m := acceptMsg{star: nd.myStar, n: nd.ctx.N()}
+			nd.bcast(m.rec(), m.Bits())
 		}
 	}
 	return false
+}
+
+// sortedKeys returns the keys of a small map in ascending order, for a
+// deterministic send order.
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // emitUncov announces the uncovered incident target edges: the full list
@@ -654,147 +740,154 @@ func (nd *undirectedNode) emitUncov() {
 	if !nd.sentUncovInit {
 		nd.sentUncovInit = true
 		var full []int
-		for _, u := range nd.nbrs {
-			if !nd.covered[u] {
+		for i, u := range nd.nbrs {
+			if !nd.covered[i] {
 				full = append(full, u)
-				nd.announcedUncov[u] = true
+				nd.announcedUncov[i] = true
 			}
 		}
-		nd.bcast(uncovMsg{nbrs: full, full: true, n: nd.ctx.N()})
+		m := uncovMsg{nbrs: full, full: true, n: nd.ctx.N()}
+		nd.bcast(m.rec(), m.Bits())
 		return
 	}
 	var dels []int
-	for u := range nd.announcedUncov {
-		if nd.covered[u] {
+	for i, u := range nd.nbrs {
+		if nd.announcedUncov[i] && nd.covered[i] {
 			dels = append(dels, u)
+			nd.announcedUncov[i] = false
 		}
 	}
 	if len(dels) == 0 {
 		return
 	}
-	sort.Ints(dels)
-	for _, u := range dels {
-		delete(nd.announcedUncov, u)
-	}
-	nd.bcast(uncovMsg{nbrs: dels, n: nd.ctx.N()})
+	m := uncovMsg{nbrs: dels, n: nd.ctx.N()}
+	nd.bcast(m.rec(), m.Bits())
 }
 
-// process consumes the inbox of phase ph.
-func (nd *undirectedNode) process(ph uPhase, inbox []dist.Message) {
+// process decodes the records of phase ph in place: sender positions come
+// from the seekPos merge scan, scalar fields are read straight off the
+// record, and list tails are folded into the flat per-neighbor slices.
+func (nd *undirectedNode) process(ph uPhase, inbox []dist.InRec) {
+	j := 0
 	switch ph {
 	case phSpan:
-		for _, m := range inbox {
-			p, ok := m.Payload.(spanListMsg)
-			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagSpan {
 				continue
 			}
-			set := nd.spanOf[m.From]
-			if set == nil {
-				set = make(map[int]bool, len(p.nbrs))
-				nd.spanOf[m.From] = set
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
+				continue
 			}
-			for _, w := range p.nbrs {
-				set[w] = true
-			}
+			nd.spanOf[j] = mergeSorted(nd.spanOf[j], r.Ints)
 		}
 		nd.updateCoverage()
 	case phUncov:
-		for _, m := range inbox {
-			p, ok := m.Payload.(uncovMsg)
-			if !ok || !nd.alive[nd.nbrPos[m.From]] {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagUncov {
 				continue
 			}
-			if p.full {
-				nd.uncovOf[m.From] = sliceToSet(p.nbrs)
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
+				continue
+			}
+			if r.Flag != 0 {
+				nd.uncovOf[j] = append(nd.uncovOf[j][:0], r.Ints...)
 			} else {
-				set := nd.uncovOf[m.From]
-				for _, w := range p.nbrs {
-					delete(set, w)
-				}
+				nd.uncovOf[j] = removeSorted(nd.uncovOf[j], r.Ints)
 			}
 			nd.viewDirty = true
 		}
 	case phDens:
-		for _, m := range inbox {
-			p, ok := m.Payload.(densMsg)
-			if !ok {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagDens {
 				continue
 			}
-			i := nd.nbrPos[m.From]
-			if !nd.alive[i] {
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
 				continue
 			}
-			nd.densOf[i] = densVal{raw: p.raw, num: p.num, den: p.den, wmax: p.wmax}
-			nd.densKnown[i] = true
+			nd.densOf[j] = densVal{raw: r.F1, num: int(r.A), den: int(r.B), wmax: r.F2}
+			nd.densKnown[j] = true
 			nd.hopDirty = true
 		}
 	case phMax:
-		for _, m := range inbox {
-			p, ok := m.Payload.(maxMsg)
-			if !ok {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagMax {
 				continue
 			}
-			i := nd.nbrPos[m.From]
-			if !nd.alive[i] {
+			j = seekPos(nd.nbrs, j, r.From)
+			if !nd.alive[j] {
 				continue
 			}
-			nd.hopOf[i] = densVal{raw: p.raw, num: p.num, den: p.den, wmax: p.wmax}
-			nd.hopKnown[i] = true
+			nd.hopOf[j] = densVal{raw: r.F1, num: int(r.A), den: int(r.B), wmax: r.F2}
+			nd.hopKnown[j] = true
 			nd.m2Dirty = true
 		}
 	case phStar:
-		for _, m := range inbox {
-			switch p := m.Payload.(type) {
-			case termMsg:
-				nd.processDeath(m.From, p.added)
-			case starMsg:
-				if nd.cands == nil {
-					nd.cands = make(map[int]candidate)
-				}
-				nd.cands[m.From] = candidate{star: sliceToSet(p.star), r: p.r}
+		for i := range inbox {
+			r := &inbox[i]
+			j = seekPos(nd.nbrs, j, r.From)
+			switch r.Tag {
+			case tagTerm:
+				nd.processDeath(j, r.Ints)
+			case tagStar:
+				// The star list is retained across the iteration; copy it
+				// out of the arena.
+				nd.cands = append(nd.cands, candRec{
+					from: r.From,
+					star: append([]int(nil), r.Ints...),
+					r:    r.A,
+				})
 			}
 		}
 	case phVote:
-		for _, m := range inbox {
-			if p, ok := m.Payload.(voteMsg); ok {
-				nd.myVotes += len(p.edges)
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag == tagVote {
+				nd.myVotes += len(r.Ints) / 2
 			}
 		}
 	case phAccept:
-		for _, m := range inbox {
-			p, ok := m.Payload.(acceptMsg)
-			if !ok {
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag != tagAccept {
 				continue
 			}
-			for _, w := range p.star {
+			j = seekPos(nd.nbrs, j, r.From)
+			for _, w := range r.Ints {
 				if w == nd.me {
-					nd.setInSpan(m.From)
+					nd.setInSpan(j)
 				}
 			}
 		}
 	}
 }
 
-// processDeath handles a neighbor's termination announcement: record the
-// direct-added edges naming this vertex, then prune the sender from every
-// accumulated fold — exactly the information the classic execution loses
-// when a terminated vertex stops broadcasting.
-func (nd *undirectedNode) processDeath(from int, added []int) {
+// processDeath handles the termination announcement of the neighbor at
+// position i: record the direct-added edges naming this vertex, then
+// prune the sender from every accumulated fold — exactly the information
+// the classic execution loses when a terminated vertex stops
+// broadcasting.
+func (nd *undirectedNode) processDeath(i int, added []int) {
 	for _, w := range added {
 		if w == nd.me {
-			nd.setInSpan(from)
-			nd.covered[from] = true
+			nd.setInSpan(i)
+			nd.covered[i] = true
 		}
 	}
-	i := nd.nbrPos[from]
 	nd.alive[i] = false
 	nd.densKnown[i] = false
 	nd.hopKnown[i] = false
-	delete(nd.spanOf, from)
-	if set := nd.uncovOf[from]; len(set) > 0 {
+	nd.spanOf[i] = nil
+	if len(nd.uncovOf[i]) > 0 {
 		nd.viewDirty = true
 	}
-	delete(nd.uncovOf, from)
+	nd.uncovOf[i] = nil
 	nd.hopDirty = true
 	nd.m2Dirty = true
 }
@@ -803,17 +896,17 @@ func (nd *undirectedNode) processDeath(from int, added []int) {
 // contains them or a 2-path around them through a live neighbor's
 // announced spanner edges.
 func (nd *undirectedNode) updateCoverage() {
-	for _, u := range nd.nbrs {
-		if nd.covered[u] {
+	for i, u := range nd.nbrs {
+		if nd.covered[i] {
 			continue
 		}
-		if nd.inSpan[u] {
-			nd.covered[u] = true
+		if nd.inSpan[i] {
+			nd.covered[i] = true
 			continue
 		}
-		for x, viaX := range nd.spanOf {
-			if nd.inSpan[x] && viaX[u] {
-				nd.covered[u] = true
+		for x := range nd.nbrs {
+			if nd.inSpan[x] && nd.alive[x] && containsSorted(nd.spanOf[x], u) {
+				nd.covered[i] = true
 				break
 			}
 		}
@@ -850,21 +943,13 @@ func (nd *undirectedNode) rebuildView() {
 
 // hEdges lists the uncovered 2-spannable edges between neighbors, in the
 // same (sender ascending, endpoint ascending, owner-side only) order the
-// classic execution reads them off its round-2 inbox.
+// classic execution reads them off its round-2 inbox. The accumulated
+// uncovered lists are already sorted, so this is a flat scan.
 func (nd *undirectedNode) hEdges() [][2]int {
 	var out [][2]int
-	for _, u := range nd.nbrs {
-		set := nd.uncovOf[u]
-		if len(set) == 0 {
-			continue
-		}
-		ws := make([]int, 0, len(set))
-		for w := range set {
-			ws = append(ws, w)
-		}
-		sort.Ints(ws)
-		for _, w := range ws {
-			if nd.nbrSet[w] && u < w {
+	for i, u := range nd.nbrs {
+		for _, w := range nd.uncovOf[i] {
+			if u < w && containsSorted(nd.nbrs, w) {
 				out = append(out, [2]int{u, w})
 			}
 		}
@@ -918,8 +1003,8 @@ func (nd *undirectedNode) refoldM2() {
 func (nd *undirectedNode) buildView(hEdges [][2]int) *localView {
 	selectable := make(map[int]float64)
 	var free []int
-	for _, u := range nd.nbrs {
-		idx := nd.edgeOf[u]
+	for i, u := range nd.nbrs {
+		idx := nd.edgeIdx[i]
 		if !nd.v.starEdge(idx) {
 			continue
 		}
@@ -935,32 +1020,13 @@ func (nd *undirectedNode) buildView(hEdges [][2]int) *localView {
 
 func (nd *undirectedNode) emitOutput() {
 	var out []int
-	for u, in := range nd.inSpan {
-		if in {
-			out = append(out, nd.edgeOf[u])
+	for i := range nd.nbrs {
+		if nd.inSpan[i] {
+			out = append(out, nd.edgeIdx[i])
 		}
 	}
 	sort.Ints(out)
 	nd.outs[nd.me] = out
-}
-
-func setToSorted(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for k, v := range set {
-		if v {
-			out = append(out, k)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
-func sliceToSet(s []int) map[int]bool {
-	set := make(map[int]bool, len(s))
-	for _, x := range s {
-		set[x] = true
-	}
-	return set
 }
 
 func maxf(a, b float64) float64 {

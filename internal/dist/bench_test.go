@@ -53,11 +53,24 @@ func benchProc(ctx *Ctx) {
 	}
 }
 
-func runEngineBenchmark(b *testing.B, n, workers int, mode Mode) {
+// benchProcRec is benchProc on the flat-buffer record path: identical
+// traffic shape and metering, no boxed payloads. The boxed/record
+// benchmark pairs (…Busy vs …BusyRec) are the engine-level before/after
+// yardstick of the typed inbox in the CI bench artifact.
+func benchProcRec(ctx *Ctx) {
+	for r := 0; r < benchRounds; r++ {
+		ctx.BroadcastRec(Rec{Tag: 1, A: int64(r)}, 32)
+		for i := range ctx.NextRoundRecs() {
+			_ = i
+		}
+	}
+}
+
+func runEngineBenchmark(b *testing.B, n, workers int, mode Mode, proc func(*Ctx)) {
 	g := benchGraph(n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stats, err := Run(Config{Graph: g, Seed: 1, Workers: workers, Mode: mode}, benchProc)
+		stats, err := Run(Config{Graph: g, Seed: 1, Workers: workers, Mode: mode}, proc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +185,7 @@ func BenchmarkSparseActivity(b *testing.B) {
 func BenchmarkGoroutinePerVertex(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			runEngineBenchmark(b, n, -1, ModeBarrier)
+			runEngineBenchmark(b, n, -1, ModeBarrier, benchProc)
 		})
 	}
 }
@@ -180,7 +193,7 @@ func BenchmarkGoroutinePerVertex(b *testing.B) {
 func BenchmarkWorkerPool(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			runEngineBenchmark(b, n, 0, ModeBarrier) // auto: pool above PoolThreshold
+			runEngineBenchmark(b, n, 0, ModeBarrier, benchProc) // auto: pool above PoolThreshold
 		})
 	}
 }
@@ -188,7 +201,26 @@ func BenchmarkWorkerPool(b *testing.B) {
 func BenchmarkEventBusy(b *testing.B) {
 	for _, n := range []int{256, 2048, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			runEngineBenchmark(b, n, 0, ModeEvent)
+			runEngineBenchmark(b, n, 0, ModeEvent, benchProc)
+		})
+	}
+}
+
+// The record-path twins: same fully-busy gossip through the flat-buffer
+// inbox. Comparing …Busy to …BusyRec in the bench artifact isolates what
+// the typed path saves over boxed payloads at identical traffic.
+func BenchmarkBarrierBusyRec(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runEngineBenchmark(b, n, 0, ModeBarrier, benchProcRec)
+		})
+	}
+}
+
+func BenchmarkEventBusyRec(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runEngineBenchmark(b, n, 0, ModeEvent, benchProcRec)
 		})
 	}
 }

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// AuditPayloadFields checks a payload struct's bit accounting against its
+// declared fields. bits is the payload's metered size (its Bits method);
+// accounted maps every struct field name to the minimum number of bits the
+// accounting charges for it — per element for slice and array fields, once
+// for scalars. An explicit 0 waives a field as non-transmitted metadata
+// (e.g. the id-universe size carried only so Bits can size words).
+//
+// The audit fails when:
+//   - the struct declares a field with no accounting entry — the
+//     conformance tests call this for every payload type, so adding a
+//     payload field without updating its Bits method (and the audit
+//     table) fails CI;
+//   - accounted names a field the struct no longer declares (stale table);
+//   - bits is below the accounted minimum (undercounting).
+//
+// This is the guard the PODC metering arguments lean on: rounds-vs-bits
+// tradeoffs are only meaningful when every transmitted field is billed.
+func AuditPayloadFields(p any, bits int, accounted map[string]int) error {
+	v := reflect.ValueOf(p)
+	t := v.Type()
+	if t.Kind() != reflect.Struct {
+		return fmt.Errorf("payload %T is not a struct", p)
+	}
+	seen := make(map[string]bool, t.NumField())
+	min := 0
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		per, ok := accounted[f.Name]
+		if !ok {
+			return fmt.Errorf("%T: field %q has no accounting entry — update Bits() and the audit table together", p, f.Name)
+		}
+		seen[f.Name] = true
+		switch f.Type.Kind() {
+		case reflect.Slice, reflect.Array:
+			min += per * v.Field(i).Len()
+		default:
+			min += per
+		}
+	}
+	for name := range accounted {
+		if !seen[name] {
+			return fmt.Errorf("%T: audit table names unknown field %q", p, name)
+		}
+	}
+	if bits < min {
+		return fmt.Errorf("%T: Bits() = %d under-accounts the field minimum %d", p, bits, min)
+	}
+	return nil
+}

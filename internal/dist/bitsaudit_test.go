@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditPayloadFields exercises the conformance helper itself: the
+// passing case, the three failure modes, and the per-element charging of
+// slice and array fields.
+func TestAuditPayloadFields(t *testing.T) {
+	type msg struct {
+		ids  []int
+		r    int64
+		n    int
+		flag bool
+	}
+	m := msg{ids: []int{1, 2, 3}, r: 9, n: 64, flag: true}
+	ok := map[string]int{"ids": 6, "r": 24, "n": 0, "flag": 1}
+	bits := 3*6 + 24 + 1
+	if err := AuditPayloadFields(m, bits, ok); err != nil {
+		t.Fatalf("conforming payload rejected: %v", err)
+	}
+	// Undercount: Bits below the field minimum.
+	if err := AuditPayloadFields(m, bits-1, ok); err == nil || !strings.Contains(err.Error(), "under-accounts") {
+		t.Fatalf("undercount not caught: %v", err)
+	}
+	// A field with no accounting entry (the "field added without
+	// accounting" CI guard).
+	missing := map[string]int{"ids": 6, "r": 24, "n": 0}
+	if err := AuditPayloadFields(m, bits, missing); err == nil || !strings.Contains(err.Error(), "no accounting entry") {
+		t.Fatalf("unaccounted field not caught: %v", err)
+	}
+	// A stale table naming a field the struct no longer has.
+	stale := map[string]int{"ids": 6, "r": 24, "n": 0, "flag": 1, "gone": 8}
+	if err := AuditPayloadFields(m, bits, stale); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("stale audit entry not caught: %v", err)
+	}
+	// Non-struct payloads are rejected.
+	if err := AuditPayloadFields(42, 1, nil); err == nil {
+		t.Fatal("non-struct payload accepted")
+	}
+	// Array-element charging: [2]int arrays count per element.
+	type pairMsg struct{ vs [][2]int }
+	pm := pairMsg{vs: [][2]int{{1, 2}, {3, 4}}}
+	if err := AuditPayloadFields(pm, 2*12, map[string]int{"vs": 12}); err != nil {
+		t.Fatalf("pair payload rejected: %v", err)
+	}
+}
+
+// TestPairsBitsConformance audits the engine's own Pairs payload.
+func TestPairsBitsConformance(t *testing.T) {
+	p := Pairs{Space: 100, Values: [][2]int{{1, 2}, {3, 4}, {5, 6}}}
+	accounted := map[string]int{"Space": 0, "Values": 2 * IDBits(100)}
+	if err := AuditPayloadFields(p, p.Bits(), accounted); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,14 +16,24 @@ type Ctx struct {
 	rng  *rand.Rand // lazily built on first Rand call
 	seed int64      // run seed, for the lazy RNG derivation
 
-	inbox    []Message     // delivered by the engine at each round boundary
-	outbox   []outMsg      // queued sends of the current round
+	inbox    []Message     // delivered boxed payloads of the completed round
+	outbox   []outMsg      // queued boxed sends of the current round
 	edgeBits []int         // routing scratch, parallel to nbrs
 	touched  []int         // edgeBits indices written this round (routing scratch)
 	done     bool          // proc returned
 	parked   bool          // blocked in Recv awaiting a delivery
 	holding  bool          // occupies a worker-pool slot
 	wake     chan wakeKind // event mode: scheduler -> vertex hand-off
+
+	// Flat-buffer record arenas (see rec.go). The in arenas are written by
+	// the router while the vertex is blocked and drained by takeRecs; the
+	// out arenas hold queued record sends with their packed int tails.
+	inRecs     []InRec
+	inInts     []int
+	outRecs    []outRec
+	outInts    []int
+	lastStaged []int // backing slice of the last staged tail (broadcast reuse)
+	lastOff    int32
 }
 
 func newCtx(e *engine, id int, seed int64) *Ctx {
@@ -111,10 +121,28 @@ func (c *Ctx) ensureScratch() {
 // anyone wrote to it. After the network has quiesced (see Recv), rounds
 // no longer advance and NextRound returns nil immediately.
 func (c *Ctx) NextRound() []Message {
+	c.blockStep()
+	return c.takeMessages()
+}
+
+// blockStep is the shared blocking body of NextRound and NextRoundRecs:
+// commit sends, end the step, resume when the round has completed (or the
+// network has quiesced).
+func (c *Ctx) blockStep() {
 	if c.eng.mode == ModeEvent {
-		return c.eng.eventYield(c)
+		c.eng.eventYield(c)
+	} else {
+		c.eng.barrier(c)
 	}
-	return c.eng.barrier(c)
+}
+
+// blockRecv is the shared blocking body of Recv and RecvRecs: commit
+// sends, park until a delivery (true) or quiescence (false).
+func (c *Ctx) blockRecv() bool {
+	if c.eng.mode == ModeEvent {
+		return c.eng.eventPark(c)
+	}
+	return c.eng.park(c)
 }
 
 // Recv commits all queued sends like NextRound, then parks the vertex: it
@@ -132,10 +160,10 @@ func (c *Ctx) NextRound() []Message {
 // the same round in every mode) and is the idiomatic way to terminate
 // protocols whose vertices do not know their own last round.
 func (c *Ctx) Recv() ([]Message, bool) {
-	if c.eng.mode == ModeEvent {
-		return c.eng.eventPark(c)
+	if !c.blockRecv() {
+		return nil, false
 	}
-	return c.eng.park(c)
+	return c.takeMessages(), true
 }
 
 // nbrIndex returns to's position in the sorted neighbor list, panicking

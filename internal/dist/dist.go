@@ -301,6 +301,9 @@ func (e *engine) finish(c *Ctx) {
 	// Sends are committed by NextRound/Recv; sends queued after a vertex's
 	// last block are discarded, never half-delivered depending on peers.
 	c.outbox = nil
+	c.outRecs = nil
+	c.outInts = nil
+	c.lastStaged = nil
 	c.done = true
 	e.running--
 	e.stepped++
@@ -309,10 +312,11 @@ func (e *engine) finish(c *Ctx) {
 	e.wg.Done()
 }
 
-// barrier is the body of Ctx.NextRound in barrier mode: park until every
-// running vertex has blocked or finished, have the last one meter and
-// deliver the round, and return this vertex's inbox.
-func (e *engine) barrier(c *Ctx) []Message {
+// barrier is the blocking body of a NextRound step in barrier mode: park
+// until every running vertex has blocked or finished, and have the last
+// one meter and deliver the round. The caller reads its inbox (boxed or
+// record flavor) after this returns.
+func (e *engine) barrier(c *Ctx) {
 	c.release()
 	e.mu.Lock()
 	if e.abort != nil {
@@ -322,14 +326,14 @@ func (e *engine) barrier(c *Ctx) []Message {
 	if e.quiesced {
 		// The network is permanently silent (see package docs): rounds no
 		// longer advance, sends go nowhere, inboxes stay empty.
-		c.outbox = c.outbox[:0]
+		c.clearSends()
 		e.mu.Unlock()
 		c.acquire()
-		return nil
+		return
 	}
 	e.arrived++
 	e.stepped++
-	if len(c.outbox) > 0 {
+	if c.hasSends() {
 		// Dirty-sender tracking: senders register themselves on arrival, so
 		// round delivery never scans the n vertex contexts. Quiet rounds —
 		// ubiquitous in the later iterations of the spanner algorithms,
@@ -346,18 +350,14 @@ func (e *engine) barrier(c *Ctx) []Message {
 		e.mu.Unlock()
 		panic(abortSignal{})
 	}
-	inbox := c.inbox
-	c.inbox = nil
 	e.mu.Unlock()
 	c.acquire()
-	return inbox
 }
 
-// park is the body of Ctx.Recv in barrier mode: commit queued sends, leave
-// the running set, and sleep until a round delivers messages to this
-// vertex — or until the network quiesces, in which case it reports
-// ok=false.
-func (e *engine) park(c *Ctx) ([]Message, bool) {
+// park is the blocking body of a Recv step in barrier mode: commit queued
+// sends, leave the running set, and sleep until a round delivers messages
+// to this vertex (true) — or until the network quiesces (false).
+func (e *engine) park(c *Ctx) bool {
 	c.release()
 	e.mu.Lock()
 	if e.abort != nil {
@@ -365,12 +365,12 @@ func (e *engine) park(c *Ctx) ([]Message, bool) {
 		panic(abortSignal{})
 	}
 	if e.quiesced {
-		c.outbox = c.outbox[:0]
+		c.clearSends()
 		e.mu.Unlock()
 		c.acquire()
-		return nil, false
+		return false
 	}
-	if len(c.outbox) > 0 {
+	if c.hasSends() {
 		e.dirty = append(e.dirty, c)
 	}
 	c.parked = true
@@ -392,15 +392,13 @@ func (e *engine) park(c *Ctx) ([]Message, bool) {
 		e.running++
 		e.mu.Unlock()
 		c.acquire()
-		return nil, false
+		return false
 	}
 	// A delivery unparked this vertex; the round completer already moved it
 	// back into the running count before releasing the barrier.
-	inbox := c.inbox
-	c.inbox = nil
 	e.mu.Unlock()
 	c.acquire()
-	return inbox, true
+	return true
 }
 
 // maybeAdvanceLocked is barrier mode's round-advance rule, applied after
@@ -556,7 +554,31 @@ func (e *engine) routeLocked() {
 				e.woken = append(e.woken, to)
 			}
 		}
-		c.outbox = c.outbox[:0]
+		// Record deliveries: copy the header and the packed int tail into
+		// the receiver's arena. Senders are visited in ascending id and a
+		// sender's records in send order, so the arena is sorted exactly
+		// like the boxed inbox.
+		for ri := range c.outRecs {
+			o := &c.outRecs[ri]
+			to := e.ctxs[o.to]
+			if to.done {
+				continue
+			}
+			off := int32(len(to.inInts))
+			if o.n > 0 {
+				to.inInts = append(to.inInts, c.outInts[o.off:o.off+o.n]...)
+			}
+			to.inRecs = append(to.inRecs, InRec{
+				From: c.id,
+				Rec:  Rec{Tag: o.tag, Flag: o.flag, A: o.a, B: o.b, F0: o.f0, F1: o.f1, F2: o.f2},
+				off:  off, n: o.n,
+			})
+			if to.parked {
+				to.parked = false
+				e.woken = append(e.woken, to)
+			}
+		}
+		c.clearSends()
 	}
 }
 
@@ -582,6 +604,28 @@ func (e *engine) meterSender(c *Ctx) meterResult {
 			r.cut += int64(b)
 		}
 		i := c.nbrIndex(m.to)
+		if b > 0 && c.edgeBits[i] == 0 {
+			c.touched = append(c.touched, i)
+		}
+		c.edgeBits[i] += b
+	}
+	// Record sends carry their size from SendRec and their neighbor slot
+	// from validation time: no interface call, no binary search.
+	for ri := range c.outRecs {
+		o := &c.outRecs[ri]
+		b := int(o.bits)
+		if b < 0 {
+			b = 0
+		}
+		r.msgs++
+		r.bits += int64(b)
+		if b > r.maxMsg {
+			r.maxMsg = b
+		}
+		if e.cut != nil && e.cut[c.id] != e.cut[o.to] {
+			r.cut += int64(b)
+		}
+		i := int(o.nbrIdx)
 		if b > 0 && c.edgeBits[i] == 0 {
 			c.touched = append(c.touched, i)
 		}

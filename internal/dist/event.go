@@ -89,13 +89,13 @@ func (e *engine) runVertexEvent(c *Ctx, proc func(*Ctx)) {
 	proc(c)
 }
 
-// eventYield is the body of Ctx.NextRound in event mode.
-func (e *engine) eventYield(c *Ctx) []Message {
+// eventYield is the blocking body of a NextRound step in event mode.
+func (e *engine) eventYield(c *Ctx) {
 	if e.quiesced {
 		// Post-quiescence epilogue (a proc finalizing after Recv returned
 		// ok=false): rounds no longer advance, sends go nowhere.
-		c.outbox = c.outbox[:0]
-		return nil
+		c.clearSends()
+		return
 	}
 	c.release()
 	e.reports <- vreport{c: c, kind: reportYield}
@@ -103,16 +103,14 @@ func (e *engine) eventYield(c *Ctx) []Message {
 		panic(abortSignal{})
 	}
 	c.acquire()
-	inbox := c.inbox
-	c.inbox = nil
-	return inbox
 }
 
-// eventPark is the body of Ctx.Recv in event mode.
-func (e *engine) eventPark(c *Ctx) ([]Message, bool) {
+// eventPark is the blocking body of a Recv step in event mode: true on
+// delivery, false on quiescence.
+func (e *engine) eventPark(c *Ctx) bool {
 	if e.quiesced {
-		c.outbox = c.outbox[:0]
-		return nil, false
+		c.clearSends()
+		return false
 	}
 	c.release()
 	e.reports <- vreport{c: c, kind: reportPark}
@@ -121,12 +119,10 @@ func (e *engine) eventPark(c *Ctx) ([]Message, bool) {
 		panic(abortSignal{})
 	case wakeQuiesce:
 		c.acquire()
-		return nil, false
+		return false
 	}
 	c.acquire()
-	inbox := c.inbox
-	c.inbox = nil
-	return inbox, true
+	return true
 }
 
 // schedule is the event-driven round loop. Invariant at the top of each
@@ -145,18 +141,21 @@ func (e *engine) schedule() {
 			switch r.kind {
 			case reportYield:
 				yielded = append(yielded, r.c)
-				if len(r.c.outbox) > 0 {
+				if r.c.hasSends() {
 					e.dirty = append(e.dirty, r.c)
 				}
 			case reportPark:
 				r.c.parked = true
 				e.parked++
-				if len(r.c.outbox) > 0 {
+				if r.c.hasSends() {
 					e.dirty = append(e.dirty, r.c)
 				}
 			case reportDone:
 				r.c.done = true
 				r.c.outbox = nil
+				r.c.outRecs = nil
+				r.c.outInts = nil
+				r.c.lastStaged = nil
 				done++
 			}
 		}

@@ -86,15 +86,31 @@ type Result struct {
 	Iterations int
 }
 
-// Message payloads: every payload is O(1) words of O(log n) bits. Each
-// phase of the six-round iteration has a distinct payload type, which is
-// how a vertex woken from Recv re-identifies the network's current phase.
+// Message schema: every payload is O(1) words of O(log n) bits, carried
+// on the engine's flat-buffer record path (dist.Rec). Each phase of the
+// six-round iteration has a distinct record tag, which is how a vertex
+// woken from Recv re-identifies the network's current phase. Each struct
+// below defines one wire record (fields + metered size) and its rec()
+// builder; the reflection conformance test in mds_test.go fails when a
+// field is added without updating the accounting.
+
+// Record tags, one per payload type.
+const (
+	tagCovered uint8 = iota + 1
+	tagDensity
+	tagBye
+	tagMax
+	tagCand
+	tagVote
+	tagJoin
+)
 
 // coveredMsg announces that the sender became dominated (round 1; sent
 // once, on the transition).
 type coveredMsg struct{}
 
-func (coveredMsg) Bits() int { return 1 }
+func (coveredMsg) Bits() int     { return 1 }
+func (coveredMsg) rec() dist.Rec { return dist.Rec{Tag: tagCovered} }
 
 // densityMsg announces the sender's changed uncovered-neighborhood count
 // (round 2; the MDS density is an integer, so one word suffices).
@@ -103,13 +119,15 @@ type densityMsg struct {
 	n     int
 }
 
-func (m densityMsg) Bits() int { return dist.IDBits(m.n) }
+func (m densityMsg) Bits() int     { return dist.IDBits(m.n) }
+func (m densityMsg) rec() dist.Rec { return dist.Rec{Tag: tagDensity, A: int64(m.count)} }
 
 // byeMsg announces that the sender halted (U_v = ∅, round 2): its density
 // is 0 forever and senders drop it from their broadcast lists.
 type byeMsg struct{}
 
-func (byeMsg) Bits() int { return 1 }
+func (byeMsg) Bits() int     { return 1 }
+func (byeMsg) rec() dist.Rec { return dist.Rec{Tag: tagBye} }
 
 // maxMsg announces the sender's changed 1-hop maximum of rounded
 // densities (round 3). Rounded densities are powers of two <= 2(Δ+1), so
@@ -119,7 +137,8 @@ type maxMsg struct {
 	n     int
 }
 
-func (m maxMsg) Bits() int { return dist.IDBits(m.n) }
+func (m maxMsg) Bits() int     { return dist.IDBits(m.n) }
+func (m maxMsg) rec() dist.Rec { return dist.Rec{Tag: tagMax, A: int64(m.count)} }
 
 // candMsg announces candidacy with the random rank r ∈ {1..n⁴} (round 4;
 // 4 words). It is sent only to the uncovered neighbors whose votes it
@@ -129,17 +148,20 @@ type candMsg struct {
 	n int
 }
 
-func (m candMsg) Bits() int { return 4 * dist.IDBits(m.n) }
+func (m candMsg) Bits() int     { return 4 * dist.IDBits(m.n) }
+func (m candMsg) rec() dist.Rec { return dist.Rec{Tag: tagCand, A: m.r} }
 
 // voteMsg casts the sender's vote for the receiving candidate (round 5).
 type voteMsg struct{}
 
-func (voteMsg) Bits() int { return 1 }
+func (voteMsg) Bits() int     { return 1 }
+func (voteMsg) rec() dist.Rec { return dist.Rec{Tag: tagVote} }
 
 // joinMsg announces that the sender joined the dominating set (round 6).
 type joinMsg struct{}
 
-func (joinMsg) Bits() int { return 1 }
+func (joinMsg) Bits() int     { return 1 }
+func (joinMsg) rec() dist.Rec { return dist.Rec{Tag: tagJoin} }
 
 // Run executes the MDS algorithm on the connected graph g.
 func Run(g *graph.Graph, opts Options) (*Result, error) {
@@ -195,7 +217,7 @@ func roundUpPow2Int(x int) int {
 }
 
 // phase indexes the six rounds of one iteration. A parked vertex that is
-// woken classifies the wake by payload type into the phase whose inbox it
+// woken classifies the wake by record tag into the phase whose inbox it
 // received and resumes the iteration from there.
 type phase int
 
@@ -208,6 +230,12 @@ const (
 	phJoin                      // round 6: joinMsg
 )
 
+// candRank is one announced candidacy this iteration.
+type candRank struct {
+	from int
+	r    int64
+}
+
 // node is the per-vertex state.
 type node struct {
 	ctx  *dist.Ctx
@@ -219,10 +247,10 @@ type node struct {
 	selfIn     bool
 	pendingCov bool // covered transition not yet announced (round 1)
 
-	// Per-neighbor state, indexed by the neighbor's position in nbrs (the
-	// folds scan slices; only inbox processing pays an id->position map
-	// lookup).
-	pos        map[int]int
+	// Per-neighbor state, indexed by the neighbor's position in nbrs. The
+	// folds scan slices, and inbox decoding resolves sender positions with
+	// the seekPos merge scan (inboxes are sorted by sender): no map on any
+	// per-message path.
 	alive      []bool
 	nbrCovered []bool
 	densOf     []int // last announced count per live neighbor
@@ -235,7 +263,7 @@ type node struct {
 	lastHop  int // last announced hopMax (-1: never)
 	isCand   bool
 	myR      int64
-	cands    map[int]int64 // candidate id -> rank, this iteration
+	cands    []candRank // announced candidacies, this iteration
 	votes    int
 	iter     int
 }
@@ -244,7 +272,6 @@ func newNode(ctx *dist.Ctx) *node {
 	nbrs := ctx.Neighbors()
 	v := &node{
 		ctx: ctx, me: ctx.ID(), n: ctx.N(), nbrs: nbrs,
-		pos:        make(map[int]int, len(nbrs)),
 		alive:      make([]bool, len(nbrs)),
 		nbrCovered: make([]bool, len(nbrs)),
 		densOf:     make([]int, len(nbrs)),
@@ -252,19 +279,23 @@ func newNode(ctx *dist.Ctx) *node {
 		lastDens:   -1,
 		lastHop:    -1,
 	}
-	for i, u := range nbrs {
-		v.pos[u] = i
+	for i := range nbrs {
 		v.alive[i] = true
 	}
 	return v
 }
 
-// bcast sends p to every live neighbor: halted vertices are pruned from
-// all broadcasts, which is what makes covered-tail rounds cheap.
-func (v *node) bcast(p dist.Payload) {
+// seekPos is dist.SeekPos: the monotone sender-position merge scan over
+// the sorted neighbor list that replaces per-message map lookups.
+func seekPos(nbrs []int, j, from int) int { return dist.SeekPos(nbrs, j, from) }
+
+// bcast sends the record to every live neighbor: halted vertices are
+// pruned from all broadcasts, which is what makes covered-tail rounds
+// cheap.
+func (v *node) bcast(r dist.Rec, bits int) {
 	for i, u := range v.nbrs {
 		if v.alive[i] {
-			v.ctx.Send(u, p)
+			v.ctx.SendRec(u, r, bits)
 		}
 	}
 }
@@ -325,32 +356,32 @@ func (v *node) parkable() bool {
 }
 
 // classify maps a wake inbox to the phase whose round delivered it. Every
-// phase has disjoint payload types and all senders are phase-aligned, so
+// phase has disjoint record tags and all senders are phase-aligned, so
 // one inbox is always one phase.
-func classify(msgs []dist.Message) phase {
-	switch msgs[0].Payload.(type) {
-	case coveredMsg:
+func classify(msgs []dist.InRec) phase {
+	switch msgs[0].Tag {
+	case tagCovered:
 		return phCoverage
-	case densityMsg, byeMsg:
+	case tagDensity, tagBye:
 		return phDensity
-	case maxMsg:
+	case tagMax:
 		return phMax
-	case candMsg:
+	case tagCand:
 		return phCand
-	case voteMsg:
+	case tagVote:
 		return phVote
-	case joinMsg:
+	case tagJoin:
 		return phJoin
 	}
-	panic("mds: unclassifiable wake payload")
+	panic("mds: unclassifiable wake record tag")
 }
 
 func (v *node) run(inDS []bool, iters []int) {
 	for {
 		start := phCoverage
-		var wake []dist.Message
+		var wake []dist.InRec
 		if v.iter > 0 && v.parkable() {
-			msgs, ok := v.ctx.Recv()
+			msgs, ok := v.ctx.RecvRecs()
 			if !ok {
 				// Quiescence: nothing can ever change U_v again.
 				inDS[v.me] = v.selfIn
@@ -370,24 +401,24 @@ func (v *node) run(inDS []bool, iters []int) {
 // iteration executes one iteration of the paper's loop from phase start
 // (start > phCoverage when resuming from a parked wake, whose inbox is
 // wake). It returns true when the vertex halted.
-func (v *node) iteration(start phase, wake []dist.Message, inDS []bool) bool {
+func (v *node) iteration(start phase, wake []dist.InRec, inDS []bool) bool {
 	v.isCand = false
 	v.votes = 0
-	v.cands = nil
+	v.cands = v.cands[:0]
 	for ph := start; ph <= phJoin; ph++ {
-		var inbox []dist.Message
+		var inbox []dist.InRec
 		if ph == start && wake != nil {
 			inbox = wake // woken into this phase: inbox already delivered
 		} else {
 			v.emit(ph)
-			inbox = v.ctx.NextRound()
+			inbox = v.ctx.NextRoundRecs()
 		}
 		if v.process(ph, inbox) {
 			// U_v = ∅ (paper step 6): announce the retirement so peers
 			// zero this vertex's density and stop sending to it, flush,
 			// output membership, halt.
-			v.bcast(byeMsg{})
-			v.ctx.NextRound()
+			v.bcast(byeMsg{}.rec(), byeMsg{}.Bits())
+			v.ctx.NextRoundRecs()
 			inDS[v.me] = v.selfIn
 			return true
 		}
@@ -401,17 +432,19 @@ func (v *node) emit(ph phase) {
 	switch ph {
 	case phCoverage:
 		if v.pendingCov {
-			v.bcast(coveredMsg{})
+			v.bcast(coveredMsg{}.rec(), coveredMsg{}.Bits())
 			v.pendingCov = false
 		}
 	case phDensity:
 		if v.count != v.lastDens {
-			v.bcast(densityMsg{count: v.count, n: v.n})
+			m := densityMsg{count: v.count, n: v.n}
+			v.bcast(m.rec(), m.Bits())
 			v.lastDens = v.count
 		}
 	case phMax:
 		if v.hopMax != v.lastHop {
-			v.bcast(maxMsg{count: v.hopMax, n: v.n})
+			m := maxMsg{count: v.hopMax, n: v.n}
+			v.bcast(m.rec(), m.Bits())
 			v.lastHop = v.hopMax
 		}
 	case phCand:
@@ -420,9 +453,10 @@ func (v *node) emit(ph phase) {
 			v.myR = 1 + v.ctx.Rand().Int63n(1<<62)
 			// Only uncovered vertices vote; covered neighbors would
 			// discard the announcement, so it is not sent to them.
+			m := candMsg{r: v.myR, n: v.n}
 			for i, u := range v.nbrs {
 				if v.alive[i] && !v.nbrCovered[i] {
-					v.ctx.Send(u, candMsg{r: v.myR, n: v.n})
+					v.ctx.SendRec(u, m.rec(), m.Bits())
 				}
 			}
 		}
@@ -432,79 +466,84 @@ func (v *node) emit(ph phase) {
 			if v.isCand {
 				bestV, bestR = v.me, v.myR
 			}
-			for vid, r := range v.cands {
-				if bestV < 0 || r < bestR || (r == bestR && vid < bestV) {
-					bestV, bestR = vid, r
+			for _, c := range v.cands {
+				if bestV < 0 || c.r < bestR || (c.r == bestR && c.from < bestV) {
+					bestV, bestR = c.from, c.r
 				}
 			}
 			if bestV == v.me {
 				v.votes++ // self-vote
 			} else if bestV >= 0 {
-				v.ctx.Send(bestV, voteMsg{})
+				v.ctx.SendRec(bestV, voteMsg{}.rec(), voteMsg{}.Bits())
 			}
 		}
 	case phJoin:
 		if v.isCand && 8*v.votes >= v.count && v.count > 0 {
 			v.selfIn = true
-			v.bcast(joinMsg{})
+			v.bcast(joinMsg{}.rec(), joinMsg{}.Bits())
 		}
 	}
 }
 
 // process consumes the inbox of phase ph, returning true when the vertex
 // detected U_v = ∅ and must halt.
-func (v *node) process(ph phase, inbox []dist.Message) bool {
+func (v *node) process(ph phase, inbox []dist.InRec) bool {
+	j := 0
 	switch ph {
 	case phCoverage:
-		for _, m := range inbox {
-			if _, ok := m.Payload.(coveredMsg); ok {
-				v.nbrCovered[v.pos[m.From]] = true
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag == tagCovered {
+				j = seekPos(v.nbrs, j, r.From)
+				v.nbrCovered[j] = true
 			}
 		}
 		v.recount()
 		return v.count == 0
 	case phDensity:
-		for _, m := range inbox {
-			switch p := m.Payload.(type) {
-			case densityMsg:
-				v.densOf[v.pos[m.From]] = p.count
-			case byeMsg:
+		for i := range inbox {
+			r := &inbox[i]
+			switch r.Tag {
+			case tagDensity:
+				j = seekPos(v.nbrs, j, r.From)
+				v.densOf[j] = int(r.A)
+			case tagBye:
 				// The sender halted: density 0 forever, pruned from all
 				// future broadcasts. Halting implies it was dominated.
-				i := v.pos[m.From]
-				v.alive[i] = false
-				v.nbrCovered[i] = true
-				v.densOf[i] = 0
-				v.hopOf[i] = 0
+				j = seekPos(v.nbrs, j, r.From)
+				v.alive[j] = false
+				v.nbrCovered[j] = true
+				v.densOf[j] = 0
+				v.hopOf[j] = 0
 			}
 		}
 		v.refoldHop()
 	case phMax:
-		for _, m := range inbox {
-			if p, ok := m.Payload.(maxMsg); ok {
-				v.hopOf[v.pos[m.From]] = p.count
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag == tagMax {
+				j = seekPos(v.nbrs, j, r.From)
+				v.hopOf[j] = int(r.A)
 			}
 		}
 		v.refoldM2()
 	case phCand:
-		for _, m := range inbox {
-			if p, ok := m.Payload.(candMsg); ok {
-				if v.cands == nil {
-					v.cands = make(map[int]int64)
-				}
-				v.cands[m.From] = p.r
+		for i := range inbox {
+			r := &inbox[i]
+			if r.Tag == tagCand {
+				v.cands = append(v.cands, candRank{from: r.From, r: r.A})
 			}
 		}
 	case phVote:
-		for _, m := range inbox {
-			if _, ok := m.Payload.(voteMsg); ok {
+		for i := range inbox {
+			if inbox[i].Tag == tagVote {
 				v.votes++
 			}
 		}
 	case phJoin:
 		joined := v.selfIn
-		for _, m := range inbox {
-			if _, ok := m.Payload.(joinMsg); ok {
+		for i := range inbox {
+			if inbox[i].Tag == tagJoin {
 				joined = true // a dominator is adjacent (or is this vertex)
 			}
 		}

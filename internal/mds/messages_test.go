@@ -1,0 +1,34 @@
+package mds
+
+import (
+	"testing"
+
+	"distspanner/internal/dist"
+)
+
+// TestPayloadBitsConformance audits the MDS payload schemas against their
+// struct fields (see dist.AuditPayloadFields): adding a field without
+// accounting it fails here.
+func TestPayloadBitsConformance(t *testing.T) {
+	for _, n := range []int{2, 100, 1 << 12} {
+		w := dist.IDBits(n)
+		cases := []struct {
+			name      string
+			p         interface{ Bits() int }
+			accounted map[string]int
+		}{
+			{"coveredMsg", coveredMsg{}, map[string]int{}},
+			{"densityMsg", densityMsg{count: 5, n: n}, map[string]int{"count": w, "n": 0}},
+			{"byeMsg", byeMsg{}, map[string]int{}},
+			{"maxMsg", maxMsg{count: 8, n: n}, map[string]int{"count": w, "n": 0}},
+			{"candMsg", candMsg{r: 12, n: n}, map[string]int{"r": 4 * w, "n": 0}},
+			{"voteMsg", voteMsg{}, map[string]int{}},
+			{"joinMsg", joinMsg{}, map[string]int{}},
+		}
+		for _, tc := range cases {
+			if err := dist.AuditPayloadFields(tc.p, tc.p.Bits(), tc.accounted); err != nil {
+				t.Errorf("n=%d %s: %v", n, tc.name, err)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -59,21 +60,31 @@ func (r *Report) WriteCSV(w io.Writer) error {
 }
 
 // formatFloat renders aggregates compactly ("12" rather than "12.000000")
-// while keeping full precision for fractional values.
+// while keeping full precision for fractional values. Non-finite values
+// render as an empty field — CSV consumers treat them like a missing
+// metric instead of choking on a "NaN"/"+Inf" literal, mirroring how
+// WriteJSON maps them to null.
 func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Summary writes a short human-readable digest: per-cell one line with the
-// parameter key and a few headline aggregates. It is what drivers print to
-// stderr alongside the machine-readable outputs.
+// parameter key and that cell's own replicate/failure counts — the same
+// per-cell numbers WriteCSV emits, so a failure in cell 0 reads as
+// "cell 0: 1/3 replicates FAILED" and is never mistaken for the
+// report-wide aggregate, which the header states separately over the run
+// total. It is what drivers print to stderr alongside the
+// machine-readable outputs.
 func (r *Report) Summary(w io.Writer) {
-	fmt.Fprintf(w, "scenario %s: %d cells × %d replicates, %d failures\n",
-		r.Scenario, len(r.Cells), r.Replicates, r.Failures)
+	fmt.Fprintf(w, "scenario %s: %d cells × %d replicates, %d/%d runs failed\n",
+		r.Scenario, len(r.Cells), r.Replicates, r.Failures, len(r.Runs))
 	for ci, cell := range r.Cells {
-		status := "ok"
+		status := fmt.Sprintf("ok (%d/%d replicates)", cell.Replicates-cell.Failures, cell.Replicates)
 		if cell.Failures > 0 {
-			status = fmt.Sprintf("%d FAILED", cell.Failures)
+			status = fmt.Sprintf("%d/%d replicates FAILED", cell.Failures, cell.Replicates)
 		}
 		fmt.Fprintf(w, "  cell %d [%s]: %s\n", ci, cell.Params.Key(), status)
 		for _, e := range cell.Errors {

@@ -63,9 +63,120 @@ func TestNonFiniteMetricsSerialize(t *testing.T) {
 	if s := buf.String(); strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
 		t.Fatalf("non-finite literal leaked into JSON:\n%s", s)
 	}
-	// CSV has no such restriction; it must also not error.
+	// CSV must not leak non-finite literals either: formatFloat renders
+	// them as empty fields.
 	var csvBuf bytes.Buffer
 	if err := rep.WriteCSV(&csvBuf); err != nil {
 		t.Fatalf("WriteCSV: %v", err)
+	}
+	if s := csvBuf.String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatalf("non-finite literal leaked into CSV:\n%s", s)
+	}
+}
+
+// TestSingleReplicateAggregates pins the 1-replicate edge case: with one
+// sample the population stddev is exactly 0 — never NaN, which
+// encoding/json rejects and which would make WriteJSON fail on any
+// 1-replicate sweep.
+func TestSingleReplicateAggregates(t *testing.T) {
+	sc := &scenario.Scenario{
+		Name: "single",
+		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+			return scenario.Metrics{"size": 17, "ratio": 2.5}, nil
+		},
+	}
+	rep, err := Execute(Options{Scenario: sc, Replicates: 1, BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, agg := range rep.Cells[0].Metrics {
+		if agg.Count != 1 {
+			t.Fatalf("%s: count = %d, want 1", name, agg.Count)
+		}
+		if agg.Std != 0 {
+			t.Fatalf("%s: single-replicate Std = %v, want exactly 0", name, agg.Std)
+		}
+		if agg.Mean != agg.Min || agg.Min != agg.Max {
+			t.Fatalf("%s: single-replicate mean/min/max disagree: %+v", name, agg)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on a 1-replicate sweep: %v", err)
+	}
+	if s := buf.String(); strings.Contains(s, "NaN") {
+		t.Fatalf("NaN leaked into 1-replicate JSON:\n%s", s)
+	}
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 cell", len(lines))
+	}
+	// Columns: scenario,cell,replicates,failures, then ratio_*, size_*
+	// (sorted metric order); every std field must be the literal 0.
+	fields := strings.Split(lines[1], ",")
+	if fields[2] != "1" || fields[3] != "0" {
+		t.Fatalf("replicates/failures = %q/%q, want 1/0", fields[2], fields[3])
+	}
+	if std := fields[7]; std != "0" {
+		t.Fatalf("ratio_std = %q, want 0", std)
+	}
+	if std := fields[11]; std != "0" {
+		t.Fatalf("size_std = %q, want 0", std)
+	}
+}
+
+// TestFormatFloat pins the CSV field rendering, including the non-finite
+// cases that must never surface as literals.
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		12:           "12",
+		2.5:          "2.5",
+		0:            "0",
+		math.NaN():   "",
+		math.Inf(1):  "",
+		math.Inf(-1): "",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestSummaryGolden pins the digest byte for byte: per-cell lines carry
+// that cell's own replicate/failure counts (consistent with WriteCSV's
+// per-cell columns), so cell-0 errors cannot be misread as the aggregate,
+// which the header reports separately over the run total.
+func TestSummaryGolden(t *testing.T) {
+	rep := &Report{
+		Scenario:   "demo",
+		Replicates: 3,
+		Failures:   2,
+		Cells: []Cell{
+			{
+				Params:     scenario.Params{"n": "64", "p": "0.2"},
+				Replicates: 3,
+				Failures:   2,
+				Errors:     []string{"timeout after 1s"},
+			},
+			{
+				Params:     scenario.Params{"n": "128", "p": "0.2"},
+				Replicates: 3,
+			},
+		},
+		Runs: make([]Run, 6),
+	}
+	var buf bytes.Buffer
+	rep.Summary(&buf)
+	want := "scenario demo: 2 cells × 3 replicates, 2/6 runs failed\n" +
+		"  cell 0 [n=64 p=0.2]: 2/3 replicates FAILED\n" +
+		"    error: timeout after 1s\n" +
+		"  cell 1 [n=128 p=0.2]: ok (3/3 replicates)\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("Summary digest drifted:\n got: %q\nwant: %q", got, want)
 	}
 }

@@ -36,7 +36,7 @@ func main() {
 		p      = flag.Float64("p", 0.2, "edge probability for gnp/planted")
 		algo   = flag.String("algo", "2spanner", "algorithm: 2spanner, congest, directed, cs, mds, kp, greedy, bs, eps, trivial")
 		seed   = flag.Int64("seed", 1, "random seed")
-		engine = flag.String("engine", "auto", "dist engine: auto, barrier, event (results are identical; wall clock differs)")
+		engine = flag.String("engine", "auto", "dist engine: auto, barrier, event, step (results are identical; wall clock differs)")
 		k      = flag.Int("k", 2, "stretch (bs: builds (2k-1)-spanner; eps: k-spanner)")
 		eps    = flag.Float64("eps", 0.5, "epsilon for -algo eps")
 		wmax   = flag.Float64("wmax", 0, "assign random weights in [1, wmax] when > 1")

@@ -7,12 +7,12 @@
 //	sweep -scenario twospanner -grid "n=64,128;p=0.1,0.2" -replicates 3 -json out.json
 //	sweep -scenario mds -workers 8 -csv mds.csv
 //	sweep -scenario twospanner -engine event            # pin the event-driven engine
-//	sweep -scenario twospanner -grid "engine=barrier,event;n=128"   # compare engines
+//	sweep -scenario twospanner -grid "engine=barrier,event,step;n=128"   # compare engines
 //
 // Without -grid the scenario's default cases/grid run. Reports are
 // deterministic functions of (-scenario, -grid, -replicates, -seed);
 // -workers only changes wall-clock time. Simulated scenarios also honor
-// the "engine" parameter (auto, barrier, event), selecting the
+// the "engine" parameter (auto, barrier, event, step), selecting the
 // internal/dist scheduling strategy; -engine overlays it on every cell,
 // and because engine modes are bit-identical by contract, an engine axis
 // in -grid is a pure wall-clock comparison. The exit status is non-zero
@@ -37,7 +37,7 @@ func main() {
 	replicatesFlag := flag.Int("replicates", 0, "seed replicates per cell (0: scenario default)")
 	workersFlag := flag.Int("workers", 0, "concurrent runs (0: GOMAXPROCS)")
 	seedFlag := flag.Int64("seed", 1, "base seed for deterministic seed derivation")
-	engineFlag := flag.String("engine", "", `execution engine for simulated scenarios: "auto", "barrier", "event" (overlays engine=<v> on every cell)`)
+	engineFlag := flag.String("engine", "", `execution engine for simulated scenarios: "auto", "barrier", "event", "step" (overlays engine=<v> on every cell)`)
 	timeoutFlag := flag.Duration("timeout", 2*time.Minute, "per-run timeout (0: none)")
 	jsonFlag := flag.String("json", "", `write the full report as JSON to this path ("-": stdout)`)
 	csvFlag := flag.String("csv", "", `write per-cell aggregates as CSV to this path ("-": stdout)`)
@@ -144,6 +144,6 @@ func list() {
 	}
 	fmt.Println("\ndirected: family=rdg (n, p) or any family above with twoway=<frac>")
 	fmt.Println("weights:  add whi=<max> (and wlo=<min>) to weight any family")
-	fmt.Println("engine:   add engine=barrier|event (or -engine) to pick the dist scheduler;")
+	fmt.Println("engine:   add engine=barrier|event|step (or -engine) to pick the dist scheduler;")
 	fmt.Println("          modes are bit-identical, so an engine axis compares wall clock only")
 }

@@ -59,41 +59,47 @@ func TestBuildMDSReproducible(t *testing.T) {
 
 // TestCrossModeTranscriptsIdentical is the engine's scheduler-equivalence
 // contract at the algorithm level: for a fixed (graph, seed), the barrier
-// engine and the event-driven scheduler must produce bit-identical
-// transcripts — the same spanner edge set, the same dominating set, and
-// the same engine statistics (rounds, messages, bits), field for field.
+// engine, the event-driven scheduler, and the goroutine-free state-machine
+// engine must produce bit-identical transcripts — the same spanner edge
+// set, the same dominating set, and the same engine statistics (rounds,
+// messages, bits), field for field.
 func TestCrossModeTranscriptsIdentical(t *testing.T) {
+	modes := []distspanner.ExecMode{distspanner.ModeBarrier, distspanner.ModeEvent, distspanner.ModeStep}
 	g := distspanner.RandomGraph(60, 0.15, 41)
-	base, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: distspanner.ModeBarrier})
+	base, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: modes[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: distspanner.ModeEvent})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !base.Spanner.Equal(ev.Spanner) {
-		t.Fatal("2-spanner edge sets differ between barrier and event modes")
-	}
-	if base.Stats != ev.Stats {
-		t.Fatalf("2-spanner stats differ between modes:\nbarrier: %+v\nevent:   %+v", base.Stats, ev.Stats)
-	}
-	if base.Iterations != ev.Iterations || base.Cost != ev.Cost {
-		t.Fatal("2-spanner telemetry differs between modes")
+	for _, mode := range modes[1:] {
+		res, err := distspanner.Build2Spanner(g, distspanner.Options{Seed: 5, ExecMode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Spanner.Equal(res.Spanner) {
+			t.Fatalf("2-spanner edge sets differ between barrier and %v modes", mode)
+		}
+		if base.Stats != res.Stats {
+			t.Fatalf("2-spanner stats differ between modes:\nbarrier: %+v\n%v: %+v", base.Stats, mode, res.Stats)
+		}
+		if base.Iterations != res.Iterations || base.Cost != res.Cost {
+			t.Fatalf("2-spanner telemetry differs between barrier and %v modes", mode)
+		}
 	}
 
 	mg := distspanner.RandomGraph(48, 0.18, 13)
-	mb, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: distspanner.ModeBarrier})
+	mb, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: modes[0]})
 	if err != nil {
 		t.Fatal(err)
 	}
-	me, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: distspanner.ModeEvent})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(mb.DominatingSet, me.DominatingSet) || mb.Stats != me.Stats {
-		t.Fatalf("MDS transcripts differ between modes:\nbarrier: %v %+v\nevent:   %v %+v",
-			mb.DominatingSet, mb.Stats, me.DominatingSet, me.Stats)
+	for _, mode := range modes[1:] {
+		res, err := distspanner.BuildMDS(mg, distspanner.MDSOptions{Seed: 9, ExecMode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mb.DominatingSet, res.DominatingSet) || mb.Stats != res.Stats {
+			t.Fatalf("MDS transcripts differ between modes:\nbarrier: %v %+v\n%v: %v %+v",
+				mb.DominatingSet, mb.Stats, mode, res.DominatingSet, res.Stats)
+		}
 	}
 }
 

@@ -13,13 +13,15 @@
 // LOCAL (1+ε)-approximation for minimum k-spanners via network
 // decomposition (Theorem 1.2).
 //
-// Algorithms execute on a synchronous message-passing simulator: every
-// vertex runs as a goroutine, message sizes are metered in bits so LOCAL
-// versus CONGEST behaviour is measurable, and runs are deterministic for
-// a fixed seed. The engine offers two scheduling strategies
-// (Options.ExecMode): the classic barrier engine and an event-driven
-// scheduler that wakes only active vertices each round — bit-identical
-// results, very different wall clock on sparse-activity workloads.
+// Algorithms execute on a synchronous message-passing simulator: message
+// sizes are metered in bits so LOCAL versus CONGEST behaviour is
+// measurable, and runs are deterministic for a fixed seed. The engine
+// offers three scheduling strategies (Options.ExecMode): the classic
+// barrier engine and the event-driven scheduler run every vertex as a
+// goroutine, while the state-machine engine (the paper algorithms'
+// default) runs with no per-vertex goroutines at all, scaling to millions
+// of vertices — bit-identical results in every mode, very different wall
+// clock.
 //
 // Quick start:
 //
@@ -73,14 +75,20 @@ type ExecMode = dist.Mode
 
 // Execution modes, re-exported for Options.ExecMode.
 const (
-	// ModeAuto switches on network size: the event-driven scheduler at or
-	// above dist.EventThreshold vertices, the barrier engine below it.
+	// ModeAuto picks the engine automatically: the paper algorithms run on
+	// the goroutine-free state-machine engine; procedure-style protocols
+	// switch on network size (the event-driven scheduler at or above
+	// dist.EventThreshold vertices, the barrier engine below it).
 	ModeAuto = dist.ModeAuto
 	// ModeBarrier runs vertices freely between central round barriers.
 	ModeBarrier = dist.ModeBarrier
 	// ModeEvent schedules only active vertices each round — quiet
 	// vertices cost zero wakeups.
 	ModeEvent = dist.ModeEvent
+	// ModeStep steps vertices as explicit state machines in a worker loop:
+	// no per-vertex goroutine at all, which is what scales runs to
+	// millions of vertices on one box.
+	ModeStep = dist.ModeStep
 )
 
 // Result reports a distributed spanner construction: the spanner, its

@@ -101,11 +101,12 @@ func TestMDSTailActivityShrinks(t *testing.T) {
 
 // TestActivityCurveIdenticalAcrossModes pins the determinism of the
 // activity profile for a real algorithm: the per-round curve is
-// bit-identical under the barrier and event schedulers.
+// bit-identical under the barrier, event, and step schedulers.
 func TestActivityCurveIdenticalAcrossModes(t *testing.T) {
 	g := tailInstance(32, 96, 7)
-	var curves [2][]dist.RoundActivity
-	for i, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+	modes := []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep}
+	curves := make([][]dist.RoundActivity, len(modes))
+	for i, mode := range modes {
 		res, err := TwoSpanner(g, Options{Seed: 3, ExecMode: mode, RoundHook: func(a dist.RoundActivity) {
 			curves[i] = append(curves[i], a)
 		}})
@@ -116,12 +117,15 @@ func TestActivityCurveIdenticalAcrossModes(t *testing.T) {
 			t.Fatal("expected parking on the tail instance")
 		}
 	}
-	if len(curves[0]) != len(curves[1]) {
-		t.Fatalf("curve lengths differ: %d vs %d", len(curves[0]), len(curves[1]))
-	}
-	for r := range curves[0] {
-		if curves[0][r] != curves[1][r] {
-			t.Fatalf("round %d activity differs across modes: %+v vs %+v", r+1, curves[0][r], curves[1][r])
+	for i := 1; i < len(modes); i++ {
+		if len(curves[0]) != len(curves[i]) {
+			t.Fatalf("curve lengths differ: %v %d vs %v %d", modes[0], len(curves[0]), modes[i], len(curves[i]))
+		}
+		for r := range curves[0] {
+			if curves[0][r] != curves[i][r] {
+				t.Fatalf("round %d activity differs between %v and %v: %+v vs %+v",
+					r+1, modes[0], modes[i], curves[0][r], curves[i][r])
+			}
 		}
 	}
 }

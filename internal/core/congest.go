@@ -247,67 +247,130 @@ func (c *congestCtx) assemble(incoming map[int]*inStream) []dist.InRec {
 	return msgs
 }
 
-// NextRoundRecs implements roundCtx: it spends exactly c.sub physical
-// rounds streaming the queued fragments and reassembles the logical
-// inbox.
-func (c *congestCtx) NextRoundRecs() []dist.InRec {
-	type stream struct {
-		kind   uint8
-		words  []int
-		offset int
-	}
-	streams := make(map[int]*stream, len(c.out))
-	for to, p := range c.out {
-		streams[to] = &stream{kind: p.kind, words: p.words}
-	}
-	c.out = make(map[int]pendingPayload)
+// congestMachine state: between physical rounds the machine is either
+// mid-window (streaming fragments) or parked across whole logical rounds.
+type cmState uint8
 
-	incoming := make(map[int]*inStream)
-	for round := 0; round < c.sub; round++ {
-		for to, s := range streams {
-			if s.offset == 0 || s.offset < len(s.words) {
-				end := s.offset + chunkWords
-				if end > len(s.words) {
-					end = len(s.words)
-				}
-				more := int64(0)
-				if end < len(s.words) {
-					more = 1
-				}
-				chunk := dist.Rec{Tag: tagChunk, Flag: s.kind, A: more, Ints: s.words[s.offset:end]}
-				s.offset = end
-				if s.offset == 0 { // empty payload: mark sent
-					s.offset = 1
-				}
-				c.ctx.SendRec(to, chunk, c.cbits)
-			}
-		}
-		collectChunks(incoming, c.ctx.NextRoundRecs())
-	}
-	return c.assemble(incoming)
+const (
+	cmStart  cmState = iota // inner machine not yet started
+	cmStream                // inside a logical window of sub physical rounds
+	cmParked                // inner machine parked; wake starts a new window
+)
+
+// congestStream is one receiver's in-flight fragmented payload.
+type congestStream struct {
+	to     int
+	kind   uint8
+	words  []int
+	offset int
 }
 
-// RecvRecs implements roundCtx: it parks the vertex across whole logical
-// rounds. A vertex with nothing to send costs zero physical wakeups until
-// a peer addresses it; every stream's first chunk is committed at a
-// logical-round boundary, so the physical wake lands on the first round
-// of a logical window and the remaining sub-1 physical rounds both finish
-// the collection and re-align the vertex with the network's round grid.
-// Quiescence (ok=false) passes through from the physical engine.
-func (c *congestCtx) RecvRecs() ([]dist.InRec, bool) {
-	if len(c.out) != 0 {
-		panic("core: congest Recv with queued sends (park only when silent)")
+// congestMachine nests the logical protocol machine inside the physical
+// one: each inner yield opens a logical window of exactly sub physical
+// rounds over which the queued payloads stream out as chunk records while
+// the peers' chunks accumulate for reassembly. It is the state-machine
+// form of the retired blocking adapter (one logical round = sub physical
+// NextRound calls), stepping the inner machine only at window boundaries
+// so the network stays on the same physical round grid in every mode.
+type congestMachine struct {
+	cc       *congestCtx
+	inner    dist.Machine
+	state    cmState
+	round    int // physical rounds already spent in the current window
+	sending  []congestStream
+	incoming map[int]*inStream
+}
+
+func newCongestMachine(cc *congestCtx, inner dist.Machine) *congestMachine {
+	return &congestMachine{cc: cc, inner: inner}
+}
+
+// Step implements dist.Machine.
+func (m *congestMachine) Step(c *dist.Ctx, in dist.StepIn) dist.StepStatus {
+	switch m.state {
+	case cmStart:
+		return m.advance(c, dist.StepIn{Start: true})
+	case cmParked:
+		if in.Quiesced {
+			return m.advance(c, dist.StepIn{Quiesced: true})
+		}
+		// First physical round of a peer-initiated window: every stream's
+		// first chunk is committed at a logical-round boundary, so this
+		// wake lands on round 0 of the window and the remaining sub-1
+		// physical rounds finish the collection and re-align the vertex
+		// with the network's round grid.
+		m.incoming = make(map[int]*inStream)
+		collectChunks(m.incoming, in.Recs)
+		m.round = 1
+		return m.stream(c)
+	default: // cmStream
+		collectChunks(m.incoming, in.Recs)
+		return m.stream(c)
 	}
-	msgs, ok := c.ctx.RecvRecs()
-	if !ok {
-		return nil, false
+}
+
+// advance hands one logical inbox to the inner machine and translates its
+// blocking decision into the physical one.
+func (m *congestMachine) advance(c *dist.Ctx, in dist.StepIn) dist.StepStatus {
+	switch m.inner.Step(c, in) {
+	case dist.StepDone:
+		if len(m.cc.out) != 0 {
+			panic("core: congest machine retired with queued sends")
+		}
+		return dist.StepDone
+	case dist.StepPark:
+		if len(m.cc.out) != 0 {
+			panic("core: congest Recv with queued sends (park only when silent)")
+		}
+		m.state = cmParked
+		return dist.StepPark
 	}
-	incoming := make(map[int]*inStream)
-	collectChunks(incoming, msgs)
-	for round := 1; round < c.sub; round++ {
-		collectChunks(incoming, c.ctx.NextRoundRecs())
+	// Inner yield: open a new logical window over the queued payloads.
+	m.sending = m.sending[:0]
+	tos := make([]int, 0, len(m.cc.out))
+	for to := range m.cc.out {
+		tos = append(tos, to)
 	}
-	return c.assemble(incoming), true
+	sort.Ints(tos)
+	for _, to := range tos {
+		p := m.cc.out[to]
+		m.sending = append(m.sending, congestStream{to: to, kind: p.kind, words: p.words})
+	}
+	m.cc.out = make(map[int]pendingPayload)
+	m.incoming = make(map[int]*inStream)
+	m.round = 0
+	return m.stream(c)
+}
+
+// stream either closes the window (sub physical rounds spent: reassemble
+// and advance the inner machine) or stages the next fragment of every
+// still-active stream and yields for one physical round.
+func (m *congestMachine) stream(c *dist.Ctx) dist.StepStatus {
+	if m.round == m.cc.sub {
+		return m.advance(c, dist.StepIn{Recs: m.cc.assemble(m.incoming)})
+	}
+	for i := range m.sending {
+		s := &m.sending[i]
+		if s.offset == 0 || s.offset < len(s.words) {
+			end := s.offset + chunkWords
+			if end > len(s.words) {
+				end = len(s.words)
+			}
+			more := int64(0)
+			if end < len(s.words) {
+				more = 1
+			}
+			chunk := dist.Rec{Tag: tagChunk, Flag: s.kind, A: more, Ints: s.words[s.offset:end]}
+			s.offset = end
+			if s.offset == 0 { // empty payload: mark sent
+				s.offset = 1
+			}
+			c.SendRec(s.to, chunk, m.cc.cbits)
+		}
+	}
+	m.round++
+	m.state = cmStream
+	return dist.StepYield
 }
 
 // CongestResult extends Result with the fragmentation accounting.
@@ -345,17 +408,7 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 	var fallbacks atomic.Int64
 	tele := newTelemetry()
 	subrounds := 0
-	proc := func(ctx *dist.Ctx) {
-		cc := newCongestCtx(ctx, maxDeg)
-		if ctx.ID() == 0 {
-			subrounds = cc.Subrounds()
-		}
-		nd := newUndirectedNode(cc, g, v, outs, iters, &fallbacks)
-		nd.opts = opts
-		nd.tele = tele
-		nd.run()
-	}
-	stats, err := dist.Run(dist.Config{
+	stats, err := dist.RunMachines(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
 		Mode:      opts.ExecMode,
@@ -363,7 +416,17 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,
 		OnRound:   opts.RoundHook,
-	}, proc)
+		Cancel:    opts.Cancel,
+	}, func(ctx *dist.Ctx) dist.Machine {
+		cc := newCongestCtx(ctx, maxDeg)
+		if ctx.ID() == 0 {
+			subrounds = cc.Subrounds()
+		}
+		nd := newUndirectedNode(cc, g, v, outs, iters, &fallbacks)
+		nd.opts = opts
+		nd.tele = tele
+		return newCongestMachine(cc, dist.NewPhasedMachine(nd))
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -102,15 +102,14 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 	iters := make([]int, n)
 	var fallbacks atomic.Int64
 	tele := newTelemetry()
-	proc := func(ctx *dist.Ctx) {
+	stats, err := dist.RunMachines(dist.Config{
+		Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
+	}, func(ctx *dist.Ctx) dist.Machine {
 		nd := newDirectedNode(ctx, d, outs, iters, &fallbacks)
 		nd.tele = tele
-		nd.run()
-	}
-	stats, err := dist.Run(dist.Config{
-		Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
-		Mode: opts.ExecMode, OnRound: opts.RoundHook,
-	}, proc)
+		return dist.NewPhasedMachine(nd)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -317,27 +316,51 @@ func (nd *directedNode) parkable() bool {
 	return !(nd.rho > 0 && nd.rho >= nd.m2Rho && nd.raw >= 1)
 }
 
-func (nd *directedNode) run() {
-	for {
-		start := phSpan
-		var wake []dist.InRec
-		if nd.iter > 0 && nd.parkable() {
-			nd.wasCand, nd.prevStar = false, nil
-			msgs, ok := nd.ctx.RecvRecs()
-			if !ok {
-				nd.finalizeQuiesced()
-				return
-			}
-			start = classifyDirected(msgs)
-			wake = msgs
-		}
-		nd.iters[nd.me] = nd.iter
-		nd.iter++
-		if nd.iteration(start, wake) {
-			return
-		}
-	}
+// Phases implements dist.PhasedProgram.
+func (nd *directedNode) Phases() (int, int) { return int(phSpan), int(phAccept) }
+
+// Begin implements dist.PhasedProgram: record and bump the iteration
+// count, reset the per-iteration scratch.
+func (nd *directedNode) Begin() {
+	nd.iters[nd.me] = nd.iter
+	nd.iter++
+	nd.isCand = false
+	nd.myEntries = nil
+	nd.mySpanCount = 0
+	nd.cands = nd.cands[:0]
+	nd.myVotes = 0
 }
+
+// Emit implements dist.PhasedProgram.
+func (nd *directedNode) Emit(ph int) bool { return nd.emit(uPhase(ph)) }
+
+// Process implements dist.PhasedProgram. The directed protocol halts via
+// the terminal announcement in emit, never mid-iteration.
+func (nd *directedNode) Process(ph int, recs []dist.InRec) bool {
+	nd.process(uPhase(ph), recs)
+	return false
+}
+
+// Parkable implements dist.PhasedProgram.
+func (nd *directedNode) Parkable() bool { return nd.parkable() }
+
+// ParkReset implements dist.PhasedProgram: parked iterations are not
+// candidate iterations, so the monotone-star continuation resets exactly
+// as it would have in the spinning execution.
+func (nd *directedNode) ParkReset() { nd.wasCand, nd.prevStar = false, nil }
+
+// Classify implements dist.PhasedProgram.
+func (nd *directedNode) Classify(recs []dist.InRec) int { return int(classifyDirected(recs)) }
+
+// Halt implements dist.PhasedProgram; unreachable (Process never halts).
+func (nd *directedNode) Halt() {}
+
+// Terminal implements dist.PhasedProgram: output after the flush round
+// that committed the termination announcement.
+func (nd *directedNode) Terminal() { nd.emitOutput() }
+
+// Quiesce implements dist.PhasedProgram.
+func (nd *directedNode) Quiesce() { nd.finalizeQuiesced() }
 
 // finalizeQuiesced is the quiescence safety net: direct-add every still
 // uncovered incident directed edge (what the termination step would do),
@@ -361,27 +384,6 @@ func (nd *directedNode) finalizeQuiesced() {
 		nd.tele.bump(nd.tele.term, it)
 	}
 	nd.emitOutput()
-}
-
-func (nd *directedNode) iteration(start uPhase, wake []dist.InRec) bool {
-	nd.isCand = false
-	nd.myEntries = nil
-	nd.mySpanCount = 0
-	nd.cands = nd.cands[:0]
-	nd.myVotes = 0
-	for ph := start; ph <= phAccept; ph++ {
-		var inbox []dist.InRec
-		if ph == start && wake != nil {
-			inbox = wake
-		} else {
-			if nd.emit(ph) {
-				return true
-			}
-			inbox = nd.ctx.NextRoundRecs()
-		}
-		nd.process(ph, inbox)
-	}
-	return false
 }
 
 func (nd *directedNode) emit(ph uPhase) bool {
@@ -440,8 +442,6 @@ func (nd *directedNode) emit(ph uPhase) bool {
 			}
 			m := dirTermMsg{pairs: added, n: nd.ctx.N()}
 			nd.bcast(m.rec(), m.Bits())
-			nd.ctx.NextRoundRecs()
-			nd.emitOutput()
 			return true
 		}
 		nd.isCand = nd.rho > 0 && nd.rho >= nd.m2Rho && nd.raw >= 1

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+	"distspanner/internal/span"
+)
+
+// ringChords returns a degree-4 ring with chords: deterministic, cheap to
+// build at any size, and sparse enough that the 2-spanner converges in a
+// bounded number of iterations independent of n — the scale-test family.
+func ringChords(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+		g.AddEdge(v, (v+2)%n)
+	}
+	return g
+}
+
+// hubRing is ringChords plus planted hub stars every `spacing` vertices
+// (each hub also linked to the `span` vertices ahead of it): the hubs are
+// locally-densest stars, so the run exercises real candidacy, voting, and
+// fringe parking instead of terminating on the first density check.
+func hubRing(n, spacing, span int) *graph.Graph {
+	g := ringChords(n)
+	for h := 0; h < n; h += spacing {
+		for j := 3; j < span; j++ {
+			g.AddEdge(h, (h+j)%n)
+		}
+	}
+	return g
+}
+
+// TestTwoSpannerMillionVertexStep is the scale contract of the
+// goroutine-free step engine: a full two-spanner run at n = 1,000,000 on
+// one box. The blocking engines cannot touch this size (a million
+// goroutine stacks); the step engine holds one small machine struct per
+// vertex and scans the active set. Skipped under -short — CI's full test
+// job runs it.
+func TestTwoSpannerMillionVertexStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-vertex smoke test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("million-vertex smoke test skipped under the race detector")
+	}
+	const n = 1_000_000
+	g := hubRing(n, 2048, 256)
+	res, err := TwoSpanner(g, Options{Seed: 6, ExecMode: dist.ModeStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !span.IsKSpanner(g, res.Spanner, 2) {
+		t.Fatal("invalid 2-spanner at n=1e6")
+	}
+	if res.Stats.Rounds == 0 || res.Stats.Messages == 0 {
+		t.Fatalf("implausible stats: %+v", res.Stats)
+	}
+	t.Logf("n=%d: %d spanner edges, %d iterations, %d rounds, %d messages",
+		n, res.Spanner.Len(), res.Iterations, res.Stats.Rounds, res.Stats.Messages)
+}
+
+// TestCrossModeByteEqualityLarge extends the cross-mode transcript
+// contract to the largest size the blocking engines share with the step
+// engine's scale range: at n = 4096 (the EventThreshold boundary) all
+// three modes must produce byte-identical outputs, rounds, and message
+// counts on both the busy G(n, 8/n) workload and the ring+chords
+// scale-test family.
+func TestCrossModeByteEqualityLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4096 cross-mode equality skipped in -short mode")
+	}
+	const n = 4096
+	graphs := map[string]*graph.Graph{
+		"gnp":        gen.ConnectedGNP(n, 8.0/float64(n), 1),
+		"ringchords": ringChords(n),
+	}
+	modes := []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep}
+	for name, g := range graphs {
+		base, err := TwoSpanner(g, Options{Seed: 11, ExecMode: modes[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes[1:] {
+			res, err := TwoSpanner(g, Options{Seed: 11, ExecMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.Spanner.Equal(res.Spanner) {
+				t.Fatalf("%s: spanner differs between %v and %v", name, modes[0], mode)
+			}
+			if base.Stats != res.Stats {
+				t.Fatalf("%s: stats differ between %v and %v:\n%+v\n%+v",
+					name, modes[0], mode, base.Stats, res.Stats)
+			}
+			if base.Iterations != res.Iterations || base.Cost != res.Cost {
+				t.Fatalf("%s: telemetry differs between %v and %v", name, modes[0], mode)
+			}
+		}
+	}
+}

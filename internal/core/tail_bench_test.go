@@ -30,7 +30,7 @@ func reportTail(b *testing.B, s dist.Stats) {
 func BenchmarkTwoSpannerTail(b *testing.B) {
 	for _, n := range []int{4096, 8192} {
 		g := tailInstance(512, n, 3)
-		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep} {
 			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
 				var stats dist.Stats
 				for i := 0; i < b.N; i++ {
@@ -54,7 +54,7 @@ func BenchmarkTwoSpannerTail(b *testing.B) {
 // profile, not the instance size, is the point.
 func BenchmarkTwoSpannerDeepTail(b *testing.B) {
 	g := tailInstance(96, 1024, 3)
-	for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+	for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep} {
 		b.Run(fmt.Sprintf("n=%d/mode=%s", g.N(), mode), func(b *testing.B) {
 			var stats dist.Stats
 			for i := 0; i < b.N; i++ {
@@ -79,7 +79,7 @@ func BenchmarkTwoSpannerDeepTail(b *testing.B) {
 func BenchmarkTwoSpannerBusy(b *testing.B) {
 	for _, n := range []int{4096, 8192} {
 		g := gen.ConnectedGNP(n, 8.0/float64(n), 1)
-		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep} {
 			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
 				var stats dist.Stats
 				for i := 0; i < b.N; i++ {
@@ -101,7 +101,7 @@ func BenchmarkTwoSpannerBusy(b *testing.B) {
 func BenchmarkMDSTail(b *testing.B) {
 	for _, n := range []int{4096, 8192} {
 		g := gen.ConnectedGNP(n, 8.0/float64(n), 1)
-		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent} {
+		for _, mode := range []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep} {
 			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
 				var stats dist.Stats
 				for i := 0; i < b.N; i++ {

@@ -18,13 +18,19 @@ type Options struct {
 	Seed int64
 	// MaxRounds aborts runaway executions; zero uses the engine default.
 	MaxRounds int
-	// ExecMode selects the engine's scheduling strategy (barrier vs
-	// event-driven); the zero value auto-switches on network size.
-	// Results are identical in every mode — only wall-clock cost differs.
+	// ExecMode selects the engine's scheduling strategy (barrier, event,
+	// or the goroutine-free step engine); the zero value resolves to
+	// dist.ModeStep — the algorithms are state machines, which the step
+	// engine runs with no per-vertex goroutine. Results are identical in
+	// every mode — only wall-clock cost differs.
 	ExecMode dist.Mode
 	// RoundHook, when non-nil, receives the engine's per-round activity
 	// snapshots (see dist.Config.OnRound) — the activity curve of the run.
 	RoundHook func(dist.RoundActivity)
+	// Cancel, when non-nil, aborts the run at the next round boundary
+	// once closed (see dist.Config.Cancel); timed-out sweeps use it so an
+	// abandoned run actually stops.
+	Cancel <-chan struct{}
 
 	// VoteDenominator is an ablation knob for the acceptance rule: a
 	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
@@ -199,16 +205,15 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 	iters := make([]int, n)    // per-vertex iteration counts
 	var fallbacks atomic.Int64 // Claim 4.4 fallback counter
 	tele := newTelemetry()
-	proc := func(ctx *dist.Ctx) {
+	stats, err := dist.RunMachines(dist.Config{
+		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
+	}, func(ctx *dist.Ctx) dist.Machine {
 		nd := newUndirectedNode(ctx, g, v, outs, iters, &fallbacks)
 		nd.opts = opts
 		nd.tele = tele
-		nd.run()
-	}
-	stats, err := dist.Run(dist.Config{
-		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
-		Mode: opts.ExecMode, OnRound: opts.RoundHook,
-	}, proc)
+		return dist.NewPhasedMachine(nd)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -234,20 +239,18 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 	}, nil
 }
 
-// roundCtx is the per-vertex network surface the protocol needs: the
-// engine's flat-buffer record path. It is satisfied by *dist.Ctx (the
-// LOCAL implementation) and by *congestCtx (the fragmenting CONGEST
-// adapter of Section 1.3's discussion). RecvRecs parks the vertex until a
-// delivery arrives — in the CONGEST adapter it parks across whole
-// logical-round windows.
+// roundCtx is the per-vertex network surface the protocol needs: vertex
+// identity plus the record send primitive. It is satisfied by *dist.Ctx
+// (the LOCAL implementation) and by *congestCtx (the fragmenting CONGEST
+// adapter of Section 1.3's discussion). The protocols never block on it —
+// they are PhasedPrograms whose round boundaries the engine drives — so
+// the blocking receive primitives live outside this interface.
 type roundCtx interface {
 	ID() int
 	N() int
 	Neighbors() []int
 	Rand() *rand.Rand
 	SendRec(to int, r dist.Rec, bits int)
-	NextRoundRecs() []dist.InRec
-	RecvRecs() ([]dist.InRec, bool)
 }
 
 // uPhase indexes the seven rounds of one iteration of the undirected
@@ -518,30 +521,57 @@ func (nd *undirectedNode) parkable() bool {
 	return !(nd.rho > 0 && nd.rho >= nd.m2Rho && nd.v.candidateOK(nd.raw))
 }
 
-func (nd *undirectedNode) run() {
-	for {
-		start := phSpan
-		var wake []dist.InRec
-		if nd.iter > 0 && nd.parkable() {
-			// Parked iterations are not candidate iterations: the
-			// monotone-star continuation resets exactly as it would have
-			// in the spinning execution.
-			nd.wasCand, nd.prevStar = false, nil
-			msgs, ok := nd.ctx.RecvRecs()
-			if !ok {
-				nd.finalizeQuiesced()
-				return
-			}
-			start = classifyUndirected(msgs)
-			wake = msgs
-		}
-		nd.iters[nd.me] = nd.iter
-		nd.iter++
-		if nd.iteration(start, wake) {
-			return
-		}
-	}
+// The node implements dist.PhasedProgram: the engine (via
+// dist.NewPhasedMachine) drives the iteration grid — parking between
+// iterations when parkable, classifying wake inboxes into the right
+// phase, and spending the terminal flush round — while the node supplies
+// only the per-phase emit/process logic.
+
+// Phases implements dist.PhasedProgram.
+func (nd *undirectedNode) Phases() (int, int) { return int(phSpan), int(phAccept) }
+
+// Begin implements dist.PhasedProgram: record and bump the iteration
+// count, reset the per-iteration scratch.
+func (nd *undirectedNode) Begin() {
+	nd.iters[nd.me] = nd.iter
+	nd.iter++
+	nd.isCand = false
+	nd.myStar = nil
+	nd.mySpanCount = 0
+	nd.cands = nd.cands[:0]
+	nd.myVotes = 0
 }
+
+// Emit implements dist.PhasedProgram.
+func (nd *undirectedNode) Emit(ph int) bool { return nd.emit(uPhase(ph)) }
+
+// Process implements dist.PhasedProgram. The undirected protocol halts
+// via the terminal announcement in emit, never mid-iteration.
+func (nd *undirectedNode) Process(ph int, recs []dist.InRec) bool {
+	nd.process(uPhase(ph), recs)
+	return false
+}
+
+// Parkable implements dist.PhasedProgram.
+func (nd *undirectedNode) Parkable() bool { return nd.parkable() }
+
+// ParkReset implements dist.PhasedProgram: parked iterations are not
+// candidate iterations, so the monotone-star continuation resets exactly
+// as it would have in the spinning execution.
+func (nd *undirectedNode) ParkReset() { nd.wasCand, nd.prevStar = false, nil }
+
+// Classify implements dist.PhasedProgram.
+func (nd *undirectedNode) Classify(recs []dist.InRec) int { return int(classifyUndirected(recs)) }
+
+// Halt implements dist.PhasedProgram; unreachable (Process never halts).
+func (nd *undirectedNode) Halt() {}
+
+// Terminal implements dist.PhasedProgram: output after the flush round
+// that committed the termination announcement.
+func (nd *undirectedNode) Terminal() { nd.emitOutput() }
+
+// Quiesce implements dist.PhasedProgram.
+func (nd *undirectedNode) Quiesce() { nd.finalizeQuiesced() }
 
 // finalizeQuiesced handles the quiescence release (Recv ok=false): no
 // future round can cover anything, so the remaining uncovered incident
@@ -567,33 +597,9 @@ func (nd *undirectedNode) finalizeQuiesced() {
 	nd.emitOutput()
 }
 
-// iteration executes one iteration from phase start (start > phSpan when
-// resuming from a parked wake, whose pre-delivered inbox is wake). It
-// returns true when the vertex terminated.
-func (nd *undirectedNode) iteration(start uPhase, wake []dist.InRec) bool {
-	nd.isCand = false
-	nd.myStar = nil
-	nd.mySpanCount = 0
-	nd.cands = nd.cands[:0]
-	nd.myVotes = 0
-	for ph := start; ph <= phAccept; ph++ {
-		var inbox []dist.InRec
-		if ph == start && wake != nil {
-			inbox = wake // woken into this phase: inbox already delivered
-		} else {
-			if nd.emit(ph) {
-				return true // terminal: announced and flushed in emit
-			}
-			inbox = nd.ctx.NextRoundRecs()
-		}
-		nd.process(ph, inbox)
-	}
-	return false
-}
-
-// emit queues the sends of phase ph (committed by the blocking call that
-// returns ph's inbox) and performs the fold recomputations scheduled at
-// ph. It returns true when the vertex terminated (phStar only).
+// emit queues the sends of phase ph (committed by the yield that returns
+// ph's inbox) and performs the fold recomputations scheduled at ph. It
+// returns true when the vertex terminated (phStar only).
 func (nd *undirectedNode) emit(ph uPhase) bool {
 	switch ph {
 	case phSpan:
@@ -646,10 +652,10 @@ func (nd *undirectedNode) emit(ph uPhase) bool {
 					added = append(added, u)
 				}
 			}
+			// The phased machine spends the flush round committing this
+			// announcement, then calls Terminal to output.
 			m := termMsg{added: added, n: nd.ctx.N()}
 			nd.bcast(m.rec(), m.Bits())
-			nd.ctx.NextRoundRecs() // flush the announcement
-			nd.emitOutput()
 			return true
 		}
 		// Candidacy and star choice (Section 4.1).

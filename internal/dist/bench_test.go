@@ -8,7 +8,8 @@ import (
 )
 
 // The execution-mode yardsticks for perf work, comparing the barrier
-// engine against the event-driven scheduler across network sizes and
+// engine, the event-driven scheduler, and (where the protocol is a state
+// machine) the goroutine-free step engine across network sizes and
 // activity fractions:
 //
 //   - BenchmarkGoroutinePerVertex / BenchmarkWorkerPool / BenchmarkEventBusy:
@@ -222,5 +223,49 @@ func BenchmarkEventBusyRec(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			runEngineBenchmark(b, n, 0, ModeEvent, benchProcRec)
 		})
+	}
+}
+
+// benchMachine is benchProcRec as a state machine: the same fully-busy
+// record gossip, stepped instead of blocked. Running it under all three
+// modes isolates what the goroutine-free step engine saves over
+// goroutine hand-off at identical traffic — the engine-level yardstick
+// for ModeStep.
+type benchMachine struct{ round int }
+
+func (m *benchMachine) Step(ctx *Ctx, in StepIn) StepStatus {
+	if !in.Start {
+		for i := range in.Recs {
+			_ = i
+		}
+	}
+	if m.round == benchRounds {
+		return StepDone
+	}
+	ctx.BroadcastRec(Rec{Tag: 1, A: int64(m.round)}, 32)
+	m.round++
+	return StepYield
+}
+
+func BenchmarkMachineBusy(b *testing.B) {
+	for _, n := range []int{256, 2048, 16384} {
+		for _, mode := range []Mode{ModeBarrier, ModeEvent, ModeStep} {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				g := benchGraph(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stats, err := RunMachines(Config{Graph: g, Seed: 1, Mode: mode},
+						func(*Ctx) Machine { return &benchMachine{} })
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.Rounds != benchRounds {
+						b.Fatalf("rounds = %d", stats.Rounds)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(benchRounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
 	}
 }

@@ -84,10 +84,12 @@ func (c *Ctx) Rand() *rand.Rand {
 }
 
 // Send queues p for delivery to the neighbor to at the next round
-// boundary. Sends are committed by the sender's next NextRound call;
-// sends queued after a vertex's last NextRound are discarded when its
-// procedure returns. Sending to a non-neighbor (or to yourself) panics:
-// the model only has channels along graph edges.
+// boundary. Sends are committed by the sender's next block (NextRound or
+// Recv) — or, for sends still queued when the procedure returns, by the
+// retirement itself: a vertex's last words ride the round in flight, and
+// when they could only reach already-retired peers they are metered and
+// dropped without charging a round. Sending to a non-neighbor (or to
+// yourself) panics: the model only has channels along graph edges.
 func (c *Ctx) Send(to int, p Payload) {
 	c.nbrIndex(to) // validates
 	c.ensureScratch()
@@ -129,9 +131,12 @@ func (c *Ctx) NextRound() []Message {
 // commit sends, end the step, resume when the round has completed (or the
 // network has quiesced).
 func (c *Ctx) blockStep() {
-	if c.eng.mode == ModeEvent {
+	switch c.eng.mode {
+	case ModeEvent:
 		c.eng.eventYield(c)
-	} else {
+	case ModeStep:
+		panic("dist: blocking call (NextRound/Recv) inside a state-machine step: return StepYield/StepPark instead")
+	default:
 		c.eng.barrier(c)
 	}
 }
@@ -139,10 +144,14 @@ func (c *Ctx) blockStep() {
 // blockRecv is the shared blocking body of Recv and RecvRecs: commit
 // sends, park until a delivery (true) or quiescence (false).
 func (c *Ctx) blockRecv() bool {
-	if c.eng.mode == ModeEvent {
+	switch c.eng.mode {
+	case ModeEvent:
 		return c.eng.eventPark(c)
+	case ModeStep:
+		panic("dist: blocking call (NextRound/Recv) inside a state-machine step: return StepYield/StepPark instead")
+	default:
+		return c.eng.park(c)
 	}
-	return c.eng.park(c)
 }
 
 // Recv commits all queued sends like NextRound, then parks the vertex: it

@@ -4,7 +4,9 @@
 // rounds, in each round every vertex sends payloads to neighbors, and all
 // payloads sent in round r are delivered at the start of round r+1.
 //
-// Every vertex executes the same procedure as a goroutine. The engine
+// A protocol is expressed either as a blocking procedure that every
+// vertex executes on its own goroutine (Run) or as an explicit state
+// machine stepped by the engine (RunMachines, see Machine). The engine
 // meters every payload's Bits() size, so the same protocol can be
 // classified as LOCAL (unbounded messages) or CONGEST (O(log n) bits per
 // edge per round) from its measured Stats — and with Config.Enforce set,
@@ -41,7 +43,7 @@
 //
 // # Execution modes
 //
-// The engine has two scheduling strategies selected by Config.Mode, both
+// The engine has three scheduling strategies selected by Config.Mode, all
 // executing identical round semantics (results and Stats are bit-identical
 // for a fixed Graph and Seed — the root determinism tests assert this):
 //
@@ -57,9 +59,15 @@
 //     round cost is O(#active + #senders) instead of O(n) — the regime
 //     the paper's algorithms live in, where most vertices are idle in
 //     most rounds.
+//   - ModeStep: vertices are explicit state machines (Machine) stepped by
+//     a sharded run-to-completion loop — no goroutine, no stack, no
+//     hand-off per vertex, which is what lets runs scale to millions of
+//     vertices on one box. Only RunMachines accepts it; blocking
+//     procedures need a goroutine to block.
 //
-// ModeAuto (the default) switches on network size; bench_test.go measures
-// both engines head-to-head across sizes and activity fractions.
+// ModeAuto (the default) switches on network size for procedures and
+// always picks ModeStep for machines; bench_test.go measures the engines
+// head-to-head across sizes and activity fractions.
 //
 // # Quiescence
 //
@@ -129,12 +137,18 @@ type Config struct {
 	// OnRound, when non-nil, is called after every completed round with
 	// that round's activity snapshot, in round order, while every vertex
 	// is blocked — in barrier mode on the goroutine of the round's last
-	// arriving vertex with the engine lock held, in event mode on the
-	// scheduler goroutine. It must not call back into the engine or
-	// block (either deadlocks the run); it is the hook behind
+	// arriving vertex with the engine lock held, in event and step mode
+	// on the scheduler goroutine. It must not call back into the engine
+	// or block (either deadlocks the run); it is the hook behind
 	// per-scenario activity curves. The same calls are made in every
 	// execution mode.
 	OnRound func(RoundActivity)
+	// Cancel, when non-nil, aborts the run with an error wrapping
+	// ErrCanceled once the channel is closed (or receives). It is checked
+	// at every round boundary — the same points as the MaxRounds check —
+	// so a canceled run stops within one round and releases every vertex
+	// goroutine; timed-out sweep runs use it to avoid leaking writers.
+	Cancel <-chan struct{}
 }
 
 // DefaultMaxRounds is the round limit used when Config.MaxRounds is zero.
@@ -150,6 +164,9 @@ var ErrRoundLimit = errors.New("dist: round limit exceeded")
 // ErrBandwidth is wrapped by Run's error when an enforced bandwidth
 // budget is violated.
 var ErrBandwidth = errors.New("dist: bandwidth exceeded")
+
+// ErrCanceled is wrapped by Run's error when Config.Cancel fires.
+var ErrCanceled = errors.New("dist: run canceled")
 
 // abortSignal is panicked through vertex goroutines to unwind them when
 // the run aborts; the vertex wrapper recovers it.
@@ -170,8 +187,10 @@ type engine struct {
 	enforce   bool
 	maxRounds int
 	cut       []bool
-	sem       chan struct{} // nil: unlimited concurrency
-	routePar  int           // goroutines for sharded metering
+	cancel    <-chan struct{} // nil: never canceled
+	sem       chan struct{}   // nil: unlimited concurrency
+	routePar  int             // goroutines for sharded metering
+	stepPar   int             // goroutines for sharded machine stepping
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -195,11 +214,11 @@ type engine struct {
 	wg sync.WaitGroup
 }
 
-// Run executes proc once per vertex of cfg.Graph as a synchronous
-// message-passing protocol and returns the metered statistics. It returns
-// an error when the round limit is exceeded or, with cfg.Enforce set, when
-// any directed edge carries more than cfg.Bandwidth bits in one round.
-func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
+// newEngine validates cfg and builds the shared engine state. A nil
+// engine with a nil error means the run is trivially empty (n == 0).
+// machines selects the mode-resolution rule: blocking procedures cannot
+// run under ModeStep, machines default to it.
+func newEngine(cfg Config, machines bool) (*engine, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("dist: Config.Graph is nil")
 	}
@@ -207,21 +226,30 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 	if cfg.CutSide != nil && len(cfg.CutSide) != n {
 		return nil, fmt.Errorf("dist: CutSide has %d entries for %d vertices", len(cfg.CutSide), n)
 	}
-	if cfg.Mode < ModeAuto || cfg.Mode > ModeEvent {
+	if cfg.Mode < ModeAuto || cfg.Mode > ModeStep {
 		return nil, fmt.Errorf("dist: invalid Config.Mode %d", int(cfg.Mode))
 	}
+	if !machines && cfg.Mode == ModeStep {
+		return nil, errors.New("dist: ModeStep executes state machines: use RunMachines")
+	}
 	if n == 0 {
-		return &Stats{}, nil
+		return nil, nil
+	}
+	mode := cfg.Mode.resolve(n)
+	if machines {
+		mode = cfg.Mode.resolveMachines()
 	}
 	e := &engine{
 		g:         cfg.Graph,
 		n:         n,
-		mode:      cfg.Mode.resolve(n),
+		mode:      mode,
 		bandwidth: cfg.Bandwidth,
 		enforce:   cfg.Enforce,
 		maxRounds: cfg.MaxRounds,
 		cut:       cfg.CutSide,
+		cancel:    cfg.Cancel,
 		routePar:  runtime.GOMAXPROCS(0),
+		stepPar:   stepWorkers(cfg),
 		running:   n,
 		onRound:   cfg.OnRound,
 	}
@@ -229,31 +257,94 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 		e.maxRounds = DefaultMaxRounds
 	}
 	e.cond = sync.NewCond(&e.mu)
-	workers := cfg.Workers
-	if workers == 0 && n >= PoolThreshold {
-		workers = 2 * runtime.GOMAXPROCS(0)
-	}
-	if workers > 0 {
-		e.sem = make(chan struct{}, workers)
+	if e.mode != ModeStep {
+		// The step loop never blocks, so only goroutine-backed modes need
+		// the worker-pool gate.
+		workers := cfg.Workers
+		if workers == 0 && n >= PoolThreshold {
+			workers = 2 * runtime.GOMAXPROCS(0)
+		}
+		if workers > 0 {
+			e.sem = make(chan struct{}, workers)
+		}
 	}
 	e.ctxs = make([]*Ctx, n)
 	for v := 0; v < n; v++ {
 		e.ctxs[v] = newCtx(e, v, cfg.Seed)
 	}
-	if e.mode == ModeEvent {
-		e.runEvent(proc)
-	} else {
-		e.wg.Add(n)
-		for v := 0; v < n; v++ {
-			go e.runVertex(e.ctxs[v], proc)
-		}
-		e.wg.Wait()
-	}
+	return e, nil
+}
+
+// result packages the finished engine's statistics and abort state.
+func (e *engine) result() (*Stats, error) {
 	if e.abort != nil {
 		return nil, e.abort
 	}
 	s := e.stats
 	return &s, nil
+}
+
+// Run executes proc once per vertex of cfg.Graph as a synchronous
+// message-passing protocol and returns the metered statistics. It returns
+// an error when the round limit is exceeded, when cfg.Cancel fires, or,
+// with cfg.Enforce set, when any directed edge carries more than
+// cfg.Bandwidth bits in one round.
+func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
+	e, err := newEngine(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return &Stats{}, nil
+	}
+	if e.mode == ModeEvent {
+		e.runEvent(proc)
+	} else {
+		e.wg.Add(e.n)
+		for v := 0; v < e.n; v++ {
+			go e.runVertex(e.ctxs[v], proc)
+		}
+		e.wg.Wait()
+	}
+	return e.result()
+}
+
+// RunMachines executes one Machine per vertex of cfg.Graph under the
+// mode cfg selects: ModeStep (the ModeAuto default for machines) drives
+// them with the goroutine-free step loop, while ModeBarrier/ModeEvent
+// wrap each machine in a blocking driver so the equivalence tests can
+// compare all three schedulers on identical protocol code. Results and
+// Stats are bit-identical across modes. factory is called once per
+// vertex — sequentially in id order under ModeStep, concurrently on the
+// vertex goroutines otherwise, so it must be safe for concurrent use
+// (per-vertex writes to distinct slice indices are fine).
+func RunMachines(cfg Config, factory func(*Ctx) Machine) (*Stats, error) {
+	e, err := newEngine(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return &Stats{}, nil
+	}
+	if e.mode == ModeStep {
+		machines := make([]Machine, e.n)
+		for v := 0; v < e.n; v++ {
+			machines[v] = factory(e.ctxs[v])
+		}
+		e.runStep(machines)
+		return e.result()
+	}
+	proc := func(c *Ctx) { driveMachine(c, factory(c)) }
+	if e.mode == ModeEvent {
+		e.runEvent(proc)
+	} else {
+		e.wg.Add(e.n)
+		for v := 0; v < e.n; v++ {
+			go e.runVertex(e.ctxs[v], proc)
+		}
+		e.wg.Wait()
+	}
+	return e.result()
 }
 
 // runVertex is the per-vertex goroutine wrapper of barrier mode: it gates
@@ -286,24 +377,49 @@ func vertexPanicError(id int, r any) error {
 	return fmt.Errorf("dist: vertex %d panicked: %v\n%s", id, r, debug.Stack())
 }
 
-// roundLimitError builds the ErrRoundLimit abort, identically in both
-// modes.
+// roundLimitError builds the ErrRoundLimit abort, identically in every
+// mode.
 func (e *engine) roundLimitError() error {
 	return fmt.Errorf("%w: %d rounds executed (MaxRounds %d)", ErrRoundLimit, e.stats.Rounds, e.maxRounds)
+}
+
+// canceled reports whether Config.Cancel has fired. Non-blocking and
+// nil-safe; checked at round boundaries like the round limit.
+func (e *engine) canceled() bool {
+	if e.cancel == nil {
+		return false
+	}
+	select {
+	case <-e.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelError builds the ErrCanceled abort, identically in every mode.
+func (e *engine) cancelError() error {
+	return fmt.Errorf("%w after %d rounds", ErrCanceled, e.stats.Rounds)
 }
 
 // finish retires a vertex whose proc returned (or was unwound). If every
 // other running vertex is already blocked, the retirement is what
 // completes the round (or quiesces the run).
+//
+// Retire-flush: sends still queued when the vertex retires are its last
+// words, committed by the retirement itself and delivered with the round
+// in flight — so a halting vertex need not spend an extra flush round to
+// announce its departure. On an aborted or quiesced run (or when the
+// vertex was unwound mid-step) the sends are discarded instead, never
+// half-delivered depending on peers.
 func (e *engine) finish(c *Ctx) {
 	c.release()
 	e.mu.Lock()
-	// Sends are committed by NextRound/Recv; sends queued after a vertex's
-	// last block are discarded, never half-delivered depending on peers.
-	c.outbox = nil
-	c.outRecs = nil
-	c.outInts = nil
-	c.lastStaged = nil
+	if e.abort == nil && !e.quiesced && c.hasSends() {
+		e.dirty = append(e.dirty, c)
+	} else {
+		c.clearSends()
+	}
 	c.done = true
 	e.running--
 	e.stepped++
@@ -405,7 +521,10 @@ func (e *engine) park(c *Ctx) bool {
 // every transition that blocks or retires a vertex: complete the round
 // when every running vertex has arrived; when nobody is left running,
 // flush any committed sends (which may wake parked receivers) and then
-// quiesce if vertices remain parked with no traffic to wake them.
+// quiesce if vertices remain parked with no traffic to wake them. Last
+// words that can only reach retired vertices are metered and dropped
+// without charging a round — no receiver could ever observe one, so a
+// round here would count a boundary no vertex crosses.
 func (e *engine) maybeAdvanceLocked() {
 	if e.abort != nil || e.quiesced {
 		return
@@ -417,12 +536,39 @@ func (e *engine) maybeAdvanceLocked() {
 		return
 	}
 	if len(e.dirty) > 0 {
-		e.completeRoundLocked()
+		if e.flushWakesLocked() {
+			e.completeRoundLocked()
+		} else {
+			e.routeLocked()
+			if e.abort != nil {
+				e.cond.Broadcast()
+				return
+			}
+		}
 	}
 	if e.running == 0 && e.parked > 0 && e.abort == nil {
 		e.quiesced = true
 		e.cond.Broadcast()
 	}
+}
+
+// flushWakesLocked reports whether any pending (dirty) send targets a
+// vertex that is still alive — i.e. whether flushing would be observable
+// as a round. Parked receivers count: a delivery would wake them.
+func (e *engine) flushWakesLocked() bool {
+	for _, c := range e.dirty {
+		for _, m := range c.outbox {
+			if !e.ctxs[m.to].done {
+				return true
+			}
+		}
+		for ri := range c.outRecs {
+			if !e.ctxs[c.outRecs[ri].to].done {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // completeRoundLocked meters and delivers every queued message, advances
@@ -434,6 +580,8 @@ func (e *engine) completeRoundLocked() {
 		e.stats.Rounds++
 		if e.stats.Rounds > e.maxRounds {
 			e.abort = e.roundLimitError()
+		} else if e.canceled() {
+			e.abort = e.cancelError()
 		} else {
 			e.routeLocked()
 			// Receivers unparked by routing rejoin the running set before

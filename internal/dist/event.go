@@ -152,14 +152,27 @@ func (e *engine) schedule() {
 				}
 			case reportDone:
 				r.c.done = true
-				r.c.outbox = nil
-				r.c.outRecs = nil
-				r.c.outInts = nil
-				r.c.lastStaged = nil
+				// Retire-flush: a retiring vertex's sends are committed by
+				// the retirement itself (see engine.finish) — unless the run
+				// is over, in which case they are discarded below or by the
+				// abort path's dirty reset.
+				if !e.quiesced && r.c.hasSends() {
+					e.dirty = append(e.dirty, r.c)
+				} else {
+					r.c.clearSends()
+				}
 				done++
 			}
 		}
 		if done == e.n {
+			// Everyone retired. Any last words can only be going to done
+			// vertices: meter and drop them without charging a round.
+			e.mu.Lock()
+			aborted := e.abort != nil
+			e.mu.Unlock()
+			if !aborted && !e.quiesced && len(e.dirty) > 0 {
+				e.routeLocked()
+			}
 			return
 		}
 		e.mu.Lock()
@@ -183,10 +196,21 @@ func (e *engine) schedule() {
 			e.dirty = e.dirty[:0]
 			continue
 		}
-		if len(yielded) == 0 && len(e.dirty) == 0 {
-			// No self-wakeups and no traffic: every live vertex is parked
-			// and no round could ever change anything. Quiesce: release
-			// the parked vertices to finalize (Recv reports ok=false).
+		if len(yielded) == 0 && !(len(e.dirty) > 0 && e.flushWakesLocked()) {
+			// No self-wakeups and no traffic that could reach a live
+			// vertex: no round could ever change anything. Route any last
+			// words to nowhere (meter + drop, no round charged), then
+			// quiesce: release the parked vertices to finalize (Recv
+			// reports ok=false).
+			if len(e.dirty) > 0 {
+				e.routeLocked()
+				e.mu.Lock()
+				aborted = e.abort != nil // Enforce tripped during metering
+				e.mu.Unlock()
+				if aborted {
+					continue
+				}
+			}
 			e.quiesced = true
 			for _, c := range e.ctxs {
 				if c.parked {
@@ -205,6 +229,14 @@ func (e *engine) schedule() {
 			e.mu.Lock()
 			if e.abort == nil {
 				e.abort = e.roundLimitError()
+			}
+			e.mu.Unlock()
+			continue
+		}
+		if e.canceled() {
+			e.mu.Lock()
+			if e.abort == nil {
+				e.abort = e.cancelError()
 			}
 			e.mu.Unlock()
 			continue

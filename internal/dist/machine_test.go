@@ -1,0 +1,363 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distspanner/internal/graph"
+)
+
+// Tests for the state-machine surface (machine.go), the goroutine-free
+// step engine (step.go), the retire-flush delivery rule, and run
+// cancellation. The chaos matrix here is the three-engine analogue of
+// TestRecCrossModeChaosEquivalence: the same Machine must produce
+// bit-identical outputs and Stats under barrier, event, and step
+// scheduling.
+
+// chaosMachine is recChaosProc as an explicit state machine: per
+// iteration it may fault (retire early), send records to random
+// neighbors or broadcast with a shared tail, then yields or parks, and
+// folds every delivery into a per-vertex hash.
+type chaosMachine struct {
+	out    []int64
+	h      int64
+	r      int
+	rounds int
+}
+
+func (m *chaosMachine) Step(c *Ctx, in StepIn) StepStatus {
+	if in.Quiesced {
+		m.h = m.h*31 + 7
+		m.out[c.ID()] = m.h
+		return StepDone
+	}
+	if in.Start {
+		m.h = int64(c.ID())
+	} else {
+		for i := range in.Recs {
+			rec := &in.Recs[i]
+			m.h = m.h*31 + int64(rec.From)<<2 + int64(rec.Tag) + rec.A + rec.B
+			for _, x := range rec.Ints {
+				m.h = m.h*33 + int64(x)
+			}
+		}
+		m.r++
+	}
+	if m.r >= m.rounds {
+		m.out[c.ID()] = m.h
+		return StepDone
+	}
+	if c.Rand().Intn(16) == 0 {
+		m.h = m.h*31 + 13 // fault: retire early
+		m.out[c.ID()] = m.h
+		return StepDone
+	}
+	roll := c.Rand().Intn(8)
+	switch {
+	case roll == 0 && c.Degree() > 0:
+		c.BroadcastRec(Rec{Tag: 2, A: int64(m.r), Ints: []int{m.r, c.ID()}}, 32)
+	case roll < 3 && c.Degree() > 0:
+		to := c.Neighbors()[c.Rand().Intn(c.Degree())]
+		c.SendRec(to, Rec{Tag: 1, B: int64(to), F1: float64(m.r)}, 16)
+	}
+	if roll >= 6 {
+		return StepPark
+	}
+	return StepYield
+}
+
+// machineModeConfigs is the full engine matrix machines run under.
+func machineModeConfigs(g *graph.Graph, seed int64) []Config {
+	return []Config{
+		{Graph: g, Seed: seed, Mode: ModeBarrier},
+		{Graph: g, Seed: seed, Mode: ModeBarrier, Workers: 3},
+		{Graph: g, Seed: seed, Mode: ModeEvent},
+		{Graph: g, Seed: seed, Mode: ModeEvent, Workers: 3},
+		{Graph: g, Seed: seed, Mode: ModeStep},
+		{Graph: g, Seed: seed, Mode: ModeStep, Workers: 3},
+		{Graph: g, Seed: seed}, // ModeAuto: resolves to ModeStep for machines
+	}
+}
+
+func TestMachineCrossModeChaosEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"clique16":   clique(16),
+		"path33":     path(33),
+		"ring64":     benchGraph(64),
+		"sparse2x40": func() *graph.Graph { g := graph.New(80); g.AddEdge(0, 79); return g }(),
+	}
+	for name, g := range graphs {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				var ref []int64
+				var refStats Stats
+				for i, cfg := range machineModeConfigs(g, seed) {
+					out := make([]int64, g.N())
+					stats, err := RunMachines(cfg, func(c *Ctx) Machine {
+						return &chaosMachine{out: out, rounds: 12}
+					})
+					if err != nil {
+						t.Fatalf("config %d: %v", i, err)
+					}
+					if i == 0 {
+						ref, refStats = out, *stats
+						continue
+					}
+					if !reflect.DeepEqual(ref, out) {
+						t.Fatalf("config %d (mode=%v workers=%d) diverged from barrier reference", i, cfg.Mode, cfg.Workers)
+					}
+					if refStats != *stats {
+						t.Fatalf("config %d stats diverged:\nref: %+v\ngot: %+v", i, refStats, *stats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// lastWordsMachine: vertex 0 sends one record and immediately retires;
+// every other vertex parks and must still receive the delivery — the
+// retire-flush contract.
+type lastWordsMachine struct {
+	got []int64
+}
+
+func (m *lastWordsMachine) Step(c *Ctx, in StepIn) StepStatus {
+	if c.ID() == 0 {
+		c.SendRec(1, Rec{Tag: 1, A: 9}, 8)
+		return StepDone // last words ride the retirement
+	}
+	if in.Quiesced {
+		return StepDone
+	}
+	if in.Start {
+		return StepPark
+	}
+	for i := range in.Recs {
+		m.got = append(m.got, in.Recs[i].A)
+	}
+	return StepPark
+}
+
+func TestRetireFlushDeliversLastWords(t *testing.T) {
+	// A vertex that retires with sends queued commits them with the
+	// retirement: parked receivers wake on the delivery, and the round
+	// counts because somebody observed it.
+	g := path(3)
+	for i, cfg := range machineModeConfigs(g, 1) {
+		var m1 lastWordsMachine
+		stats, err := RunMachines(cfg, func(c *Ctx) Machine {
+			if c.ID() == 1 {
+				return &m1
+			}
+			return &lastWordsMachine{}
+		})
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m1.got, []int64{9}) {
+			t.Fatalf("config %d: receiver saw %v, want [9]", i, m1.got)
+		}
+		if stats.Rounds != 1 || stats.Messages != 1 {
+			t.Fatalf("config %d: stats = %+v, want Rounds=1 Messages=1", i, stats)
+		}
+	}
+
+	// The same contract holds for blocking procedures: a proc that sends
+	// and returns without another block still delivers.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		var got []int
+		stats, err := Run(Config{Graph: path(3), Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			switch ctx.ID() {
+			case 0:
+				ctx.Send(1, blob{val: 9, size: 8})
+				return // no trailing NextRound
+			case 1:
+				if msgs, ok := ctx.Recv(); ok {
+					for _, m := range msgs {
+						got = append(got, m.Payload.(blob).val)
+					}
+					ctx.Recv() // quiesce
+				}
+			default:
+				ctx.Recv()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []int{9}) {
+			t.Fatalf("mode %v: receiver saw %v, want [9]", mode, got)
+		}
+		if stats.Rounds != 1 || stats.Messages != 1 {
+			t.Fatalf("mode %v: stats = %+v, want Rounds=1 Messages=1", mode, stats)
+		}
+	}
+}
+
+func TestRetireFlushSilentDrop(t *testing.T) {
+	// Last words that can only reach already-retired vertices are metered
+	// (the bits were sent) but dropped without charging a round: no
+	// receiver could observe that boundary.
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		stats, err := Run(Config{Graph: path(2), Seed: 1, Mode: mode}, func(ctx *Ctx) {
+			if ctx.ID() == 1 {
+				return // retires instantly
+			}
+			ctx.NextRound()            // round 1: vertex 1 already gone
+			ctx.Send(1, blob{size: 8}) // addressed to the departed
+			ctx.Send(1, blob{size: 8}) // (twice, to check metering adds up)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds != 1 {
+			t.Fatalf("mode %v: Rounds = %d, want 1 (silent drop must not count a round)", mode, stats.Rounds)
+		}
+		if stats.Messages != 2 || stats.TotalBits != 16 {
+			t.Fatalf("mode %v: dropped last words not metered: %+v", mode, stats)
+		}
+	}
+	// Machine flavor, all engines: vertex 1 retires instantly, and the
+	// survivor's final words go to the corpse after one observed round.
+	for i, cfg := range machineModeConfigs(path(2), 1) {
+		stats, err := RunMachines(cfg, func(c *Ctx) Machine {
+			return machineFunc(func(ctx *Ctx, in StepIn) StepStatus {
+				if ctx.ID() == 1 {
+					return StepDone
+				}
+				if in.Start {
+					return StepYield
+				}
+				ctx.SendRec(1, Rec{Tag: 1}, 8)
+				return StepDone
+			})
+		})
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if stats.Rounds != 1 || stats.Messages != 1 || stats.TotalBits != 8 {
+			t.Fatalf("config %d: stats = %+v, want Rounds=1 Messages=1 TotalBits=8", i, stats)
+		}
+	}
+}
+
+// machineFunc adapts a function to the Machine interface.
+type machineFunc func(*Ctx, StepIn) StepStatus
+
+func (f machineFunc) Step(c *Ctx, in StepIn) StepStatus { return f(c, in) }
+
+func TestCancelAbortsRun(t *testing.T) {
+	// A canceled run aborts at the next round boundary with ErrCanceled,
+	// in every mode, releasing every vertex (Run only returns once all
+	// vertex goroutines have exited, so -race verifies no writer outlives
+	// the call).
+	g := clique(8)
+	for _, mode := range []Mode{ModeBarrier, ModeEvent} {
+		cancel := make(chan struct{})
+		var canceledAt int
+		_, err := Run(Config{Graph: g, Seed: 1, Mode: mode, Cancel: cancel,
+			OnRound: func(a RoundActivity) {
+				if a.Round == 5 {
+					canceledAt = a.Round
+					close(cancel)
+				}
+			}}, func(ctx *Ctx) {
+			for {
+				ctx.Broadcast(blob{size: 4})
+				ctx.NextRound()
+			}
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("mode %v: err = %v, want ErrCanceled", mode, err)
+		}
+		if canceledAt != 5 {
+			t.Fatalf("mode %v: cancel fired at round %d", mode, canceledAt)
+		}
+	}
+	// Step mode, via a busy machine.
+	cancel := make(chan struct{})
+	_, err := RunMachines(Config{Graph: g, Seed: 1, Mode: ModeStep, Cancel: cancel,
+		OnRound: func(a RoundActivity) {
+			if a.Round == 5 {
+				close(cancel)
+			}
+		}}, func(c *Ctx) Machine {
+		return machineFunc(func(ctx *Ctx, in StepIn) StepStatus {
+			ctx.BroadcastRec(Rec{Tag: 1}, 4)
+			return StepYield
+		})
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("step mode: err = %v, want ErrCanceled", err)
+	}
+	// A pre-closed cancel aborts before any traffic is delivered.
+	pre := make(chan struct{})
+	close(pre)
+	_, err = Run(Config{Graph: g, Seed: 1, Cancel: pre}, func(ctx *Ctx) {
+		for {
+			ctx.Broadcast(blob{size: 4})
+			ctx.NextRound()
+		}
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-closed cancel: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestModeStepValidation(t *testing.T) {
+	// Blocking procedures cannot run under ModeStep...
+	_, err := Run(Config{Graph: path(2), Mode: ModeStep}, func(*Ctx) {})
+	if err == nil || !strings.Contains(err.Error(), "RunMachines") {
+		t.Fatalf("Run accepted ModeStep: err = %v", err)
+	}
+	// ...and a machine that calls a blocking primitive mid-step is a
+	// protocol bug, reported like any vertex panic.
+	_, err = RunMachines(Config{Graph: path(2), Mode: ModeStep}, func(c *Ctx) Machine {
+		return machineFunc(func(ctx *Ctx, in StepIn) StepStatus {
+			ctx.NextRound()
+			return StepDone
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "StepYield/StepPark") {
+		t.Fatalf("blocking call inside a step: err = %v", err)
+	}
+	// RunMachines validates like Run.
+	if _, err := RunMachines(Config{}, func(c *Ctx) Machine { return nil }); err == nil {
+		t.Fatal("nil graph must error")
+	}
+	if _, err := RunMachines(Config{Graph: path(2), Mode: Mode(99)}, func(c *Ctx) Machine { return nil }); err == nil {
+		t.Fatal("invalid mode must error")
+	}
+	stats, err := RunMachines(Config{Graph: graph.New(0)}, func(c *Ctx) Machine { return nil })
+	if err != nil || *stats != (Stats{}) {
+		t.Fatalf("empty graph: %+v, %v", stats, err)
+	}
+}
+
+func TestMachineActivityAccounting(t *testing.T) {
+	// The activity fold must be identical across engines for machines,
+	// including the OnRound curve.
+	g := benchGraph(32)
+	var ref []RoundActivity
+	for i, cfg := range machineModeConfigs(g, 3) {
+		var curve []RoundActivity
+		cfg.OnRound = func(a RoundActivity) { curve = append(curve, a) }
+		out := make([]int64, g.N())
+		if _, err := RunMachines(cfg, func(c *Ctx) Machine {
+			return &chaosMachine{out: out, rounds: 8}
+		}); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if i == 0 {
+			ref = curve
+			continue
+		}
+		if !reflect.DeepEqual(ref, curve) {
+			t.Fatalf("config %d activity curve diverged:\nref: %+v\ngot: %+v", i, ref, curve)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package mds
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+)
+
+// classicRun is the golden reference: the classical all-broadcast
+// execution of the paper's loop, with every vertex spinning the six-round
+// grid and rebroadcasting its full state each iteration. A vertex halts
+// immediately after the coverage fold that finds U_v = ∅ — no bye
+// announcement and no trailing flush round, so the run's last charged
+// round is the coverage round of the last halter. Candidates draw from
+// the same per-vertex RNG streams at the same iterations as the
+// activity-aware implementation, so the chosen dominating set and the
+// round count are exactly the values the optimized run must reproduce.
+func classicRun(t *testing.T, g *graph.Graph, seed int64) ([]int, int) {
+	t.Helper()
+	n := g.N()
+	inDS := make([]bool, n)
+	proc := func(ctx *dist.Ctx) {
+		me := ctx.ID()
+		nbrs := ctx.Neighbors()
+		covered := false
+		selfIn := false
+		nbrCovered := make([]bool, len(nbrs))
+		for {
+			// Round 1: coverage. Covered vertices rebroadcast their status.
+			if covered {
+				ctx.BroadcastRec(coveredMsg{}.rec(), coveredMsg{}.Bits())
+			}
+			inbox := ctx.NextRoundRecs()
+			j := 0
+			for i := range inbox {
+				if inbox[i].Tag == tagCovered {
+					j = seekPos(nbrs, j, inbox[i].From)
+					nbrCovered[j] = true
+				}
+			}
+			count := 0
+			if !covered {
+				count++
+			}
+			for i := range nbrs {
+				if !nbrCovered[i] {
+					count++
+				}
+			}
+			if count == 0 {
+				inDS[me] = selfIn
+				return
+			}
+			// Round 2: density. Halted neighbors are silent, so a missing
+			// sender folds as density 0 — the classical equivalent of the
+			// optimized run's bye pruning.
+			dm := densityMsg{count: count, n: ctx.N()}
+			ctx.BroadcastRec(dm.rec(), dm.Bits())
+			inbox = ctx.NextRoundRecs()
+			hop := roundUpPow2Int(count)
+			for i := range inbox {
+				if inbox[i].Tag == tagDensity {
+					if r := roundUpPow2Int(int(inbox[i].A)); r > hop {
+						hop = r
+					}
+				}
+			}
+			// Round 3: 1-hop maxima.
+			mm := maxMsg{count: hop, n: ctx.N()}
+			ctx.BroadcastRec(mm.rec(), mm.Bits())
+			inbox = ctx.NextRoundRecs()
+			m2 := hop
+			for i := range inbox {
+				if inbox[i].Tag == tagMax {
+					if r := int(inbox[i].A); r > m2 {
+						m2 = r
+					}
+				}
+			}
+			// Round 4: candidacy.
+			isCand := roundUpPow2Int(count) >= m2
+			var myR int64
+			if isCand {
+				myR = 1 + ctx.Rand().Int63n(1<<62)
+				cm := candMsg{r: myR, n: ctx.N()}
+				for i, u := range nbrs {
+					if !nbrCovered[i] {
+						ctx.SendRec(u, cm.rec(), cm.Bits())
+					}
+				}
+			}
+			cands := ctx.NextRoundRecs()
+			// Round 5: votes.
+			votes := 0
+			if !covered {
+				bestV, bestR := -1, int64(0)
+				if isCand {
+					bestV, bestR = me, myR
+				}
+				for i := range cands {
+					if cands[i].Tag != tagCand {
+						continue
+					}
+					if bestV < 0 || cands[i].A < bestR || (cands[i].A == bestR && cands[i].From < bestV) {
+						bestV, bestR = cands[i].From, cands[i].A
+					}
+				}
+				if bestV == me {
+					votes++ // self-vote
+				} else if bestV >= 0 {
+					ctx.SendRec(bestV, voteMsg{}.rec(), voteMsg{}.Bits())
+				}
+			}
+			inbox = ctx.NextRoundRecs()
+			for i := range inbox {
+				if inbox[i].Tag == tagVote {
+					votes++
+				}
+			}
+			// Round 6: joins.
+			if isCand && 8*votes >= count && count > 0 {
+				selfIn = true
+				ctx.BroadcastRec(joinMsg{}.rec(), joinMsg{}.Bits())
+			}
+			inbox = ctx.NextRoundRecs()
+			joined := selfIn
+			for i := range inbox {
+				if inbox[i].Tag == tagJoin {
+					joined = true
+				}
+			}
+			if joined {
+				covered = true
+			}
+		}
+	}
+	stats, err := dist.Run(dist.Config{Graph: g, Seed: seed}, proc)
+	if err != nil {
+		t.Fatalf("classic reference: %v", err)
+	}
+	var ds []int
+	for v, in := range inDS {
+		if in {
+			ds = append(ds, v)
+		}
+	}
+	sort.Ints(ds)
+	return ds, stats.Rounds
+}
+
+// TestGoldenRoundsMatchClassic pins the activity-aware implementation to
+// the classical reference: identical dominating set and — with the
+// termination bye folded into the retirement instead of a dedicated
+// flush round — an identical round count.
+func TestGoldenRoundsMatchClassic(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"clique":  gen.Clique(15),
+		"star":    gen.Star(20),
+		"path":    gen.Path(25),
+		"cycle":   gen.Cycle(24),
+		"grid":    gen.Grid(5, 6),
+		"gnp":     gen.ConnectedGNP(50, 0.08, 2),
+		"planted": gen.PlantedStars(5, 8, 0.2, 4),
+	}
+	for name, g := range graphs {
+		for _, seed := range []int64{1, 7, 42} {
+			res, err := Run(g, Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			wantDS, wantRounds := classicRun(t, g, seed)
+			if !reflect.DeepEqual(res.DominatingSet, wantDS) {
+				t.Errorf("%s seed %d: dominating set %v, classic reference %v",
+					name, seed, res.DominatingSet, wantDS)
+			}
+			if res.Stats.Rounds != wantRounds {
+				t.Errorf("%s seed %d: %d rounds, classic reference %d",
+					name, seed, res.Stats.Rounds, wantRounds)
+			}
+		}
+	}
+}

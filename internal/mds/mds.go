@@ -70,6 +70,9 @@ type Options struct {
 	// RoundHook, when non-nil, receives the engine's per-round activity
 	// snapshots (see dist.Config.OnRound).
 	RoundHook func(dist.RoundActivity)
+	// Cancel, when non-nil, aborts the run when closed (see
+	// dist.Config.Cancel).
+	Cancel <-chan struct{}
 }
 
 // Result reports the outcome.
@@ -172,10 +175,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	inDS := make([]bool, n)
 	iters := make([]int, n)
-	proc := func(ctx *dist.Ctx) {
-		newNode(ctx).run(inDS, iters)
-	}
-	stats, err := dist.Run(dist.Config{
+	stats, err := dist.RunMachines(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
 		Mode:      opts.ExecMode,
@@ -183,7 +183,12 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		Enforce:   true,
 		MaxRounds: opts.MaxRounds,
 		OnRound:   opts.RoundHook,
-	}, proc)
+		Cancel:    opts.Cancel,
+	}, func(ctx *dist.Ctx) dist.Machine {
+		v := newNode(ctx)
+		v.inDS, v.iters = inDS, iters
+		return dist.NewPhasedMachine(v)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -238,10 +243,12 @@ type candRank struct {
 
 // node is the per-vertex state.
 type node struct {
-	ctx  *dist.Ctx
-	me   int
-	n    int
-	nbrs []int
+	ctx   *dist.Ctx
+	me    int
+	n     int
+	nbrs  []int
+	inDS  []bool // shared output: dominating-set membership per vertex
+	iters []int  // shared output: iterations executed per vertex
 
 	covered    bool
 	selfIn     bool
@@ -376,55 +383,61 @@ func classify(msgs []dist.InRec) phase {
 	panic("mds: unclassifiable wake record tag")
 }
 
-func (v *node) run(inDS []bool, iters []int) {
-	for {
-		start := phCoverage
-		var wake []dist.InRec
-		if v.iter > 0 && v.parkable() {
-			msgs, ok := v.ctx.RecvRecs()
-			if !ok {
-				// Quiescence: nothing can ever change U_v again.
-				inDS[v.me] = v.selfIn
-				return
-			}
-			start = classify(msgs)
-			wake = msgs
-		}
-		iters[v.me] = v.iter
-		v.iter++
-		if v.iteration(start, wake, inDS) {
-			return
-		}
-	}
-}
+// Phases implements dist.PhasedProgram.
+func (v *node) Phases() (int, int) { return int(phCoverage), int(phJoin) }
 
-// iteration executes one iteration of the paper's loop from phase start
-// (start > phCoverage when resuming from a parked wake, whose inbox is
-// wake). It returns true when the vertex halted.
-func (v *node) iteration(start phase, wake []dist.InRec, inDS []bool) bool {
+// Begin implements dist.PhasedProgram: record and bump the iteration
+// count, reset the per-iteration scratch.
+func (v *node) Begin() {
+	v.iters[v.me] = v.iter
+	v.iter++
 	v.isCand = false
 	v.votes = 0
 	v.cands = v.cands[:0]
-	for ph := start; ph <= phJoin; ph++ {
-		var inbox []dist.InRec
-		if ph == start && wake != nil {
-			inbox = wake // woken into this phase: inbox already delivered
-		} else {
-			v.emit(ph)
-			inbox = v.ctx.NextRoundRecs()
-		}
-		if v.process(ph, inbox) {
-			// U_v = ∅ (paper step 6): announce the retirement so peers
-			// zero this vertex's density and stop sending to it, flush,
-			// output membership, halt.
-			v.bcast(byeMsg{}.rec(), byeMsg{}.Bits())
-			v.ctx.NextRoundRecs()
-			inDS[v.me] = v.selfIn
-			return true
-		}
-	}
+}
+
+// Emit implements dist.PhasedProgram. MDS never halts while emitting:
+// termination is detected on the receive side (U_v = ∅ after the
+// coverage fold).
+func (v *node) Emit(ph int) bool {
+	v.emit(phase(ph))
 	return false
 }
+
+// Process implements dist.PhasedProgram: halt when the coverage fold
+// finds U_v = ∅ (paper step 6).
+func (v *node) Process(ph int, recs []dist.InRec) bool {
+	return v.process(phase(ph), recs)
+}
+
+// Parkable implements dist.PhasedProgram.
+func (v *node) Parkable() bool { return v.parkable() }
+
+// ParkReset implements dist.PhasedProgram; the MDS iteration keeps no
+// cross-iteration continuation, so there is nothing to reset.
+func (v *node) ParkReset() {}
+
+// Classify implements dist.PhasedProgram.
+func (v *node) Classify(recs []dist.InRec) int { return int(classify(recs)) }
+
+// Halt implements dist.PhasedProgram: announce the retirement so peers
+// zero this vertex's density and stop sending to it, output membership,
+// halt. The byeMsg rides the retirement itself (the engine commits a
+// retiring vertex's queued sends), so halting costs no extra round — the
+// last halter's byes reach only already-retired peers and are metered and
+// dropped without charging the network a round.
+func (v *node) Halt() {
+	v.bcast(byeMsg{}.rec(), byeMsg{}.Bits())
+	v.inDS[v.me] = v.selfIn
+}
+
+// Terminal implements dist.PhasedProgram; unreachable (Emit never
+// reports a terminal announcement).
+func (v *node) Terminal() {}
+
+// Quiesce implements dist.PhasedProgram: nothing can ever change U_v
+// again, so output membership as-is.
+func (v *node) Quiesce() { v.inDS[v.me] = v.selfIn }
 
 // emit queues the sends of phase ph; they are committed by the blocking
 // call that returns ph's inbox.

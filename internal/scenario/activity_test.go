@@ -19,7 +19,7 @@ func TestScenarioActivityMetrics(t *testing.T) {
 		if !ok {
 			t.Fatalf("scenario %q not registered", tc.scenario)
 		}
-		m, err := sc.Run(sc.Defaults.Merge(tc.cell), 7)
+		m, err := sc.Run(sc.Defaults.Merge(tc.cell), 7, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.scenario, err)
 		}

@@ -9,11 +9,11 @@ import (
 
 // TestCrossModeScenarioEquivalence is the scheduler-equivalence check at
 // the workload level: the same (scenario, cell, seed) run under the
-// barrier engine and under the event-driven scheduler must produce
-// identical metrics — same spanner/dominating-set size, same round count,
-// same metered bits, bit for bit. Cells and seeds are randomized so every
-// run exercises fresh instances; any divergence is an engine bug, not a
-// flaky workload.
+// barrier engine, the event-driven scheduler, and the goroutine-free
+// state-machine engine must produce identical metrics — same
+// spanner/dominating-set size, same round count, same metered bits, bit
+// for bit. Cells and seeds are randomized so every run exercises fresh
+// instances; any divergence is an engine bug, not a flaky workload.
 func TestCrossModeScenarioEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	cases := []struct {
@@ -53,19 +53,22 @@ func TestCrossModeScenarioEquivalence(t *testing.T) {
 		for rep := 0; rep < 3; rep++ {
 			cell := tc.cell()
 			seed := rng.Int63()
-			var metrics [2]Metrics
-			var errs [2]error
-			for i, engine := range []string{"barrier", "event"} {
+			engines := []string{"barrier", "event", "step"}
+			metrics := make([]Metrics, len(engines))
+			errs := make([]error, len(engines))
+			for i, engine := range engines {
 				p := sc.Defaults.Merge(cell).Merge(Params{"engine": engine})
-				metrics[i], errs[i] = sc.Run(p, seed)
+				metrics[i], errs[i] = sc.Run(p, seed, nil)
 			}
-			if (errs[0] == nil) != (errs[1] == nil) {
-				t.Fatalf("%s %v seed %d: engines disagree on failure: barrier=%v event=%v",
-					tc.scenario, cell, seed, errs[0], errs[1])
-			}
-			if !reflect.DeepEqual(metrics[0], metrics[1]) {
-				t.Fatalf("%s %v seed %d: metrics diverge across engines:\nbarrier: %v\nevent:   %v",
-					tc.scenario, cell, seed, metrics[0], metrics[1])
+			for i := 1; i < len(engines); i++ {
+				if (errs[0] == nil) != (errs[i] == nil) {
+					t.Fatalf("%s %v seed %d: engines disagree on failure: %s=%v %s=%v",
+						tc.scenario, cell, seed, engines[0], errs[0], engines[i], errs[i])
+				}
+				if !reflect.DeepEqual(metrics[0], metrics[i]) {
+					t.Fatalf("%s %v seed %d: metrics diverge across engines:\n%s: %v\n%s: %v",
+						tc.scenario, cell, seed, engines[0], metrics[0], engines[i], metrics[i])
+				}
 			}
 		}
 	}

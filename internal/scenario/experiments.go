@@ -49,12 +49,12 @@ func cases(ps ...Params) []Params { return ps }
 // scenario supplies the algorithm, verification, and metrics, so the two
 // cannot drift apart. Resolution is lazy because init order across files
 // is not guaranteed.
-func delegate(name string, p Params, seed int64) (Metrics, error) {
+func delegate(name string, p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 	s, ok := Get(name)
 	if !ok {
 		return nil, fmt.Errorf("scenario: delegate target %q not registered", name)
 	}
-	return s.Run(s.Defaults.Merge(p), seed)
+	return s.Run(s.Defaults.Merge(p), seed, cancel)
 }
 
 func init() {
@@ -70,7 +70,7 @@ func init() {
 			Params{"l": "4", "beta": "6"},
 			Params{"l": "5", "beta": "8"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			l := p.Int("l", 4)
 			beta := p.Int("beta", 2*l-2)
 			s := instanceSeed(p, seed)
@@ -125,7 +125,7 @@ func init() {
 			Params{"mode": "meter", "l": "4", "beta": "6", "iseed": "1"},
 			Params{"mode": "decision", "l": "3", "beta": "45", "iseed": "2"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "bounds"); mode {
 			case "bounds":
 				n := p.Int("n", 1024)
@@ -197,7 +197,7 @@ func init() {
 			Params{"mode": "bounds", "n": "16384"},
 			Params{"mode": "gap", "l": "12", "beta": "11", "iseed": "1"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "bounds"); mode {
 			case "bounds":
 				n := p.Int("n", 1024)
@@ -256,7 +256,7 @@ func init() {
 			Params{"mode": "bounds", "n": "4096"},
 			Params{"mode": "bounds", "n": "16384"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			s := instanceSeed(p, seed)
 			switch mode := p.Str("mode", "fig2"); mode {
 			case "fig2":
@@ -325,7 +325,7 @@ func init() {
 			Params{"mode": "fooling"},
 			Params{"mode": "bounds"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "gadget"); mode {
 			case "gadget":
 				g := gen.GNP(p.Int("n", 5), p.Float("p", 0.5), instanceSeed(p, seed))
@@ -413,7 +413,7 @@ func init() {
 			Params{"mode": "scaling", "c": "16", "iseed": "5"},
 		),
 		Replicates: 5,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "run"); mode {
 			case "run":
 				g, err := GraphSpec{}.Build(p, seed)
@@ -487,8 +487,8 @@ func init() {
 			Params{"family": "clique", "n": "12", "twoway": "0.5", "iseed": "4"},
 		),
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
-			return delegate("twospanner-directed", p, seed)
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+			return delegate("twospanner-directed", p, seed, cancel)
 		},
 	})
 
@@ -508,8 +508,8 @@ func init() {
 			Params{"ref": "kp", "family": "wgeom", "n": "48", "radius": "0.3", "whi": "0", "iseed": "6"},
 		),
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
-			return delegate("twospanner-weighted", p, seed)
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+			return delegate("twospanner-weighted", p, seed, cancel)
 		},
 	})
 
@@ -527,8 +527,8 @@ func init() {
 			Params{"mode": "exact", "family": "cgnp", "n": "10", "p": "0.4", "pc": "0.6", "ps": "0.8", "iseed": "8"},
 		),
 		Replicates: 2,
-		Run: func(p Params, seed int64) (Metrics, error) {
-			m, err := delegate("twospanner-cs", p, seed)
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+			m, err := delegate("twospanner-cs", p, seed, cancel)
 			if err != nil {
 				return m, err
 			}
@@ -572,12 +572,12 @@ func init() {
 			Params{"mode": "voting", "family": "planted-stars", "c": "6", "s": "6", "q": "0.1", "iseed": "3"},
 		),
 		Replicates: 8,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p)})
+			res, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 			if err != nil {
 				return nil, err
 			}
@@ -615,8 +615,8 @@ func init() {
 			Params{"family": "cgnp", "n": "10", "p": "0.35", "iseed": "3", "k": "2", "eps": "0.5"},
 			Params{"family": "cgnp", "n": "9", "p": "0.35", "iseed": "5", "k": "3", "eps": "0.5"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
-			return delegate("local-epsilon", p, seed)
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+			return delegate("local-epsilon", p, seed, cancel)
 		},
 	})
 
@@ -639,7 +639,7 @@ func init() {
 			Params{"mode": "weighted", "n": "1024"},
 			Params{"mode": "weighted", "n": "4096"},
 		),
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "bits"); mode {
 			case "bits":
 				g := gen.Clique(p.Int("n", 16))
@@ -647,7 +647,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				resM, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p)})
+				resM, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -689,7 +689,7 @@ func init() {
 		Model:      "CONGEST",
 		Grid:       Grid{"n": {"100", "200"}, "k": {"2", "3", "4"}},
 		Replicates: 5,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			n, k := p.Int("n", 100), p.Int("k", 3)
 			// The pinned instance of the original driver: seed n+k.
 			g := gen.ConnectedGNP(n, p.Float("p", 0.3), int64(p.Int("iseed", n+k)))
@@ -717,7 +717,7 @@ func init() {
 			"budget.",
 		Model: "CONGEST",
 		Grid:  Grid{"n": {"8", "16", "24", "32"}},
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g := gen.Clique(p.Int("n", 16))
 			local, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
 			if err != nil {
@@ -764,9 +764,9 @@ func init() {
 			Params{"mode": "rounding", "noround": "1"},
 		),
 		Replicates: 4,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g := gen.PlantedStars(p.Int("c", 4), p.Int("s", 8), p.Float("q", 0.4), int64(p.Int("iseed", 3)))
-			res, err := core.TwoSpanner(g, coreOptions(p, seed))
+			res, err := core.TwoSpanner(g, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}

@@ -102,7 +102,7 @@ func (p Params) Key() string {
 // execOnlyParams name the parameters that select how a run executes
 // rather than what instance it runs on. They are excluded from
 // InstanceKey so that cells differing only in execution knobs draw the
-// same derived seeds — which is what makes an engine={barrier,event}
+// same derived seeds — which is what makes an engine={barrier,event,step}
 // sweep axis a pure wall-clock comparison over identical instances.
 var execOnlyParams = map[string]bool{"engine": true}
 

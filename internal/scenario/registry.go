@@ -14,14 +14,15 @@
 //
 // Every scenario that executes on the internal/dist engine (the spanner
 // variants, MDS, and the E1–E15 experiments built on them) honors the
-// shared "engine" parameter ("auto", "barrier", "event"), selecting which
-// scheduling strategy executes the protocol: the classic barrier engine
-// or the event-driven scheduler that only wakes active vertices.
-// Sequential and analytic scenarios ignore it. The two engines are
-// bit-identical by the dist package's determinism contract, so "engine"
-// is an execution-only parameter: it is excluded from instance identity
-// (Params.InstanceKey), and sweeping engine={barrier,event} compares
-// wall-clock cost over identical instances.
+// shared "engine" parameter ("auto", "barrier", "event", "step"),
+// selecting which scheduling strategy executes the protocol: the classic
+// barrier engine, the event-driven scheduler that only wakes active
+// vertices, or the goroutine-free state-machine engine. Sequential and
+// analytic scenarios ignore it. The engines are bit-identical by the
+// dist package's determinism contract, so "engine" is an execution-only
+// parameter: it is excluded from instance identity (Params.InstanceKey),
+// and sweeping engine={barrier,event,step} compares wall-clock cost over
+// identical instances.
 package scenario
 
 import (
@@ -57,8 +58,12 @@ type Scenario struct {
 	// Run executes one cell: build the instance, run the algorithm,
 	// verify the output, extract metrics. A non-nil error means the cell
 	// FAILED verification (not merely measured something slow) — sweeps
-	// record it and drivers exit non-zero.
-	Run func(p Params, seed int64) (Metrics, error)
+	// record it and drivers exit non-zero. cancel, when non-nil, asks the
+	// run to abort promptly once closed (dist-engine scenarios plumb it
+	// into dist.Config.Cancel; sequential and analytic scenarios may
+	// ignore it): it is how sweep timeouts stop the losing run instead of
+	// abandoning its goroutine mid-flight.
+	Run func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error)
 }
 
 // DefaultCells returns the scenario's default cell list: Cases when set,

@@ -198,7 +198,7 @@ func TestExperimentsAllCellsPass(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			for _, cell := range s.DefaultCells() {
 				params := s.Defaults.Merge(cell)
-				m, err := s.Run(params, 1)
+				m, err := s.Run(params, 1, nil)
 				if err != nil {
 					t.Errorf("cell [%s]: %v", params.Key(), err)
 					continue
@@ -231,7 +231,7 @@ func TestSweepableScenariosSmoke(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", name)
 		}
-		m, err := sc.Run(sc.Defaults.Merge(over), 1)
+		m, err := sc.Run(sc.Defaults.Merge(over), 1, nil)
 		if err != nil {
 			t.Fatalf("%s failed: %v", name, err)
 		}

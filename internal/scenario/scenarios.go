@@ -83,11 +83,11 @@ func verifySpanner(g *graph.Graph, H *graph.EdgeSet, k int, m Metrics) error {
 }
 
 // execMode parses the shared "engine" parameter every simulated scenario
-// honors: the engine's scheduling strategy ("auto", "barrier", "event").
-// Results are mode-independent by the engine's determinism contract, so
-// sweeping engine={barrier,event} is a pure wall-clock comparison — and a
-// cross-mode equivalence check, since any metric difference is an engine
-// bug (crossmode_test.go asserts exactly that).
+// honors: the engine's scheduling strategy ("auto", "barrier", "event",
+// "step"). Results are mode-independent by the engine's determinism
+// contract, so sweeping engine={barrier,event,step} is a pure wall-clock
+// comparison — and a cross-mode equivalence check, since any metric
+// difference is an engine bug (crossmode_test.go asserts exactly that).
 func execMode(p Params) dist.Mode {
 	m, err := dist.ParseMode(p.Str("engine", "auto"))
 	if err != nil {
@@ -96,13 +96,14 @@ func execMode(p Params) dist.Mode {
 	return m
 }
 
-func coreOptions(p Params, seed int64) core.Options {
+func coreOptions(p Params, seed int64, cancel <-chan struct{}) core.Options {
 	return core.Options{
 		Seed:            seed,
 		ExecMode:        execMode(p),
 		VoteDenominator: p.Int("votden", 0),
 		FreshStars:      p.Bool("fresh", false),
 		NoRounding:      p.Bool("noround", false),
+		Cancel:          cancel,
 	}
 }
 
@@ -119,12 +120,12 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "48", "p": "0.15", "ref": "lb"},
 		Grid:       Grid{"n": {"32", "64"}, "p": {"0.1", "0.2"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpanner(g, coreOptions(p, seed))
+			res, err := core.TwoSpanner(g, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}
@@ -164,12 +165,12 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "24", "p": "0.25"},
 		Grid:       Grid{"n": {"16", "24"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpannerCongest(g, coreOptions(p, seed))
+			res, err := core.TwoSpannerCongest(g, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}
@@ -201,12 +202,12 @@ func init() {
 		Defaults:   Params{"family": "rdg", "n": "24", "p": "0.2"},
 		Grid:       Grid{"n": {"16", "24"}, "p": {"0.15", "0.25"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			d, err := GraphSpec{}.BuildDigraph(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.DirectedTwoSpanner(d, coreOptions(p, seed))
+			res, err := core.DirectedTwoSpanner(d, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}
@@ -233,12 +234,12 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "30", "p": "0.25", "whi": "16", "ref": "kp"},
 		Grid:       Grid{"whi": {"2", "16", "128"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpanner(g, coreOptions(p, seed))
+			res, err := core.TwoSpanner(g, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}
@@ -273,13 +274,13 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "30", "p": "0.25", "pc": "0.6", "ps": "0.7"},
 		Grid:       Grid{"pc": {"0.3", "0.6", "0.9"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
 			clients, servers := gen.ClientServerSplit(g, p.Float("pc", 0.6), p.Float("ps", 0.7), instanceSeed(p, seed)+0xc5)
-			res, err := core.ClientServerTwoSpanner(g, clients, servers, coreOptions(p, seed))
+			res, err := core.ClientServerTwoSpanner(g, clients, servers, coreOptions(p, seed, cancel))
 			if err != nil {
 				return nil, err
 			}
@@ -310,12 +311,12 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "24", "p": "0.2", "ref": "greedy"},
 		Grid:       Grid{"n": {"16", "24", "32"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
 			}
-			res, err := mds.Run(g, mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p)})
+			res, err := mds.Run(g, mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Cancel: cancel})
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +352,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "100", "p": "0.3", "k": "3"},
 		Grid:       Grid{"n": {"100", "200"}, "k": {"2", "3", "4"}},
 		Replicates: 5,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -383,7 +384,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "48", "p": "0.15"},
 		Grid:       Grid{"n": {"32", "64"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -409,7 +410,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "48", "p": "0.15", "k": "3"},
 		Grid:       Grid{"k": {"2", "3", "5"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -437,7 +438,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "10", "p": "0.35", "k": "2", "eps": "0.5"},
 		Grid:       Grid{"eps": {"0.25", "0.5", "1.0"}},
 		Replicates: 2,
-		Run: func(p Params, seed int64) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err

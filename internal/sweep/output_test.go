@@ -17,7 +17,7 @@ import (
 func TestNonFiniteMetricsSerialize(t *testing.T) {
 	sc := &scenario.Scenario{
 		Name: "degenerate",
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			return scenario.Metrics{
 				"neg_inf": math.Inf(-1),
 				"nan":     math.NaN(),
@@ -81,7 +81,7 @@ func TestNonFiniteMetricsSerialize(t *testing.T) {
 func TestSingleReplicateAggregates(t *testing.T) {
 	sc := &scenario.Scenario{
 		Name: "single",
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			return scenario.Metrics{"size": 17, "ratio": 2.5}, nil
 		},
 	}

@@ -47,9 +47,12 @@ type Options struct {
 	// BaseSeed drives every derived run seed.
 	BaseSeed int64
 	// Timeout bounds one run's wall clock; 0 means none. A timed-out run
-	// is recorded as failed ("timeout after ..."), and its goroutine is
-	// abandoned (scenario runs bound their own round counts, so leaks are
-	// transient).
+	// is recorded as failed ("timeout after ...") and actively canceled:
+	// the scenario's cancel channel is closed and the sweep waits for the
+	// run to unwind before moving on, so no abandoned goroutine keeps
+	// writing behind the sweep's back. A run that ignores the cancel
+	// signal (sequential solvers may) is abandoned after a grace period
+	// of one more Timeout.
 	Timeout time.Duration
 }
 
@@ -228,12 +231,16 @@ func Execute(opts Options) (*Report, error) {
 }
 
 // executeRun performs one run in place, converting panics and timeouts
-// into recorded failures so a single bad cell cannot kill the sweep.
+// into recorded failures so a single bad cell cannot kill the sweep. A
+// timed-out run is actively canceled — the scenario's cancel channel is
+// closed and executeRun waits for the run goroutine to unwind — so no
+// writer is left behind mutating shared state after the sweep moves on.
 func executeRun(sc *scenario.Scenario, run *Run, timeout time.Duration) {
 	type outcome struct {
 		metrics scenario.Metrics
 		err     error
 	}
+	cancel := make(chan struct{})
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -241,7 +248,7 @@ func executeRun(sc *scenario.Scenario, run *Run, timeout time.Duration) {
 				done <- outcome{err: fmt.Errorf("panic: %v", r)}
 			}
 		}()
-		m, err := sc.Run(run.Params, run.Seed)
+		m, err := sc.Run(run.Params, run.Seed, cancel)
 		done <- outcome{metrics: m, err: err}
 	}()
 	var out outcome
@@ -249,6 +256,15 @@ func executeRun(sc *scenario.Scenario, run *Run, timeout time.Duration) {
 		select {
 		case out = <-done:
 		case <-time.After(timeout):
+			close(cancel)
+			// Wait for the canceled run to unwind (its outcome is
+			// discarded), so its writers are gone before the sweep reuses
+			// the worker. A run that ignores the cancel signal is abandoned
+			// after one more timeout, as sweeps always did.
+			select {
+			case <-done:
+			case <-time.After(timeout):
+			}
 			out = outcome{err: fmt.Errorf("timeout after %s", timeout)}
 		}
 	} else {

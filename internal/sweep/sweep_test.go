@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"distspanner/internal/dist"
+	"distspanner/internal/gen"
 	"distspanner/internal/scenario"
 )
 
@@ -18,7 +20,7 @@ func synthetic() *scenario.Scenario {
 		Title:    "test scenario",
 		Model:    "analytic",
 		Defaults: scenario.Params{"x": "1"},
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			x := p.Float("x", 0)
 			if p.Bool("fail", false) {
 				return nil, fmt.Errorf("deliberate failure at x=%g", x)
@@ -125,7 +127,7 @@ func TestFailuresRecorded(t *testing.T) {
 func TestPanicRecovered(t *testing.T) {
 	sc := &scenario.Scenario{
 		Name: "panicky",
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			panic("boom")
 		},
 	}
@@ -141,7 +143,7 @@ func TestPanicRecovered(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	sc := &scenario.Scenario{
 		Name: "slow",
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			time.Sleep(5 * time.Second)
 			return scenario.Metrics{"done": 1}, nil
 		},
@@ -159,13 +161,48 @@ func TestTimeout(t *testing.T) {
 	}
 }
 
+// TestTimeoutCancelsBusyRun asserts a timeout actively stops the losing
+// run rather than abandoning its goroutine: the busy dist run is unwound
+// via the scenario cancel channel before Execute returns, so the test's
+// read of the hook-written counter below is race-free (run with -race).
+func TestTimeoutCancelsBusyRun(t *testing.T) {
+	rounds := 0 // written by the run's round hook, read after Execute
+	sc := &scenario.Scenario{
+		Name: "busy",
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
+			_, err := dist.Run(dist.Config{
+				Graph:     gen.Cycle(64),
+				Seed:      seed,
+				MaxRounds: 1 << 30,
+				Cancel:    cancel,
+				OnRound:   func(dist.RoundActivity) { rounds++ },
+			}, func(c *dist.Ctx) {
+				for {
+					c.NextRound()
+				}
+			})
+			return nil, err
+		},
+	}
+	rep, err := Execute(Options{Scenario: sc, Replicates: 1, BaseSeed: 1, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || !strings.Contains(rep.Runs[0].Error, "timeout") {
+		t.Fatalf("timeout not recorded: %+v", rep.Runs)
+	}
+	if rounds == 0 {
+		t.Fatal("busy run never advanced a round before the timeout")
+	}
+}
+
 // TestWorkerPoolParallelism shows wall clock drops as -workers grows: 6
 // runs of a 60ms scenario take >= 360ms serially but ~60ms on 6 workers.
 // Sleep-based so the demonstration holds even on single-CPU CI runners.
 func TestWorkerPoolParallelism(t *testing.T) {
 	sc := &scenario.Scenario{
 		Name: "sleepy",
-		Run: func(p scenario.Params, seed int64) (scenario.Metrics, error) {
+		Run: func(p scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
 			time.Sleep(60 * time.Millisecond)
 			return scenario.Metrics{"ok": 1}, nil
 		},

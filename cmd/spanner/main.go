@@ -9,6 +9,14 @@
 //	spanner -family gnp -n 40 -p 0.2 -algo mds -seed 7
 //	spanner -family bipartite -n 16 -algo eps -eps 0.5 -k 2
 //	spanner -family gnp -n 30 -p 0.3 -algo directed
+//	spanner -family gnp -n 60 -algo 2spanner -trace run.jsonl
+//
+// -trace records the distributed run's logical transcript (sends,
+// deliveries, wakes, parks, retirements plus the per-round activity
+// curve) to a JSONL file and prints its digest; cmd/trace inspects the
+// file. -cpuprofile/-memprofile/-exectrace write standard Go profiles
+// of the whole process. Both apply only to the simulated (dist-engine)
+// algorithms; sequential baselines run no transcript.
 package main
 
 import (
@@ -24,7 +32,9 @@ import (
 	"distspanner/internal/graph"
 	"distspanner/internal/localmodel"
 	"distspanner/internal/mds"
+	"distspanner/internal/prof"
 	"distspanner/internal/span"
+	"distspanner/internal/trace"
 )
 
 func main() {
@@ -41,8 +51,20 @@ func main() {
 		eps    = flag.Float64("eps", 0.5, "epsilon for -algo eps")
 		wmax   = flag.Float64("wmax", 0, "assign random weights in [1, wmax] when > 1")
 		dot    = flag.String("dot", "", "write the graph (with the solution highlighted) as DOT to this file")
+
+		traceOut   = flag.String("trace", "", "record the distributed run's logical transcript as JSONL to this file (dist-engine algorithms only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	mode, err := dist.ParseMode(*engine)
 	if err != nil {
@@ -57,14 +79,23 @@ func main() {
 	fmt.Printf("graph: family=%s n=%d m=%d maxΔ=%d weighted=%v\n",
 		*family, g.N(), g.M(), g.MaxDegree(), g.Weighted())
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(g.N())
+	}
+	opts := core.Options{Seed: *seed, ExecMode: mode}
+	if rec != nil {
+		opts.Tracer = rec
+	}
+
 	switch *algo {
 	case "2spanner":
-		res, err := core.TwoSpanner(g, core.Options{Seed: *seed, ExecMode: mode})
+		res, err := core.TwoSpanner(g, opts)
 		fail(err)
 		printSpanner(g, res, 2)
 		writeDOT(*dot, g, res.Spanner)
 	case "congest":
-		res, err := core.TwoSpannerCongest(g, core.Options{Seed: *seed, ExecMode: mode})
+		res, err := core.TwoSpannerCongest(g, opts)
 		fail(err)
 		fmt.Printf("CONGEST 2-spanner: %d of %d edges, valid=%v, subrounds/logical=%d, budget=%d bits\n",
 			res.Spanner.Len(), g.M(), span.IsKSpanner(g, res.Spanner, 2),
@@ -73,21 +104,25 @@ func main() {
 		writeDOT(*dot, g, res.Spanner)
 	case "directed":
 		d := gen.OrientRandomly(g, 0.3, *seed)
-		res, err := core.DirectedTwoSpanner(d, core.Options{Seed: *seed, ExecMode: mode})
+		res, err := core.DirectedTwoSpanner(d, opts)
 		fail(err)
 		fmt.Printf("directed 2-spanner: %d of %d edges, valid=%v\n",
 			res.Spanner.Len(), d.M(), span.IsDirectedKSpanner(d, res.Spanner, 2))
 		printStats(res)
 	case "cs":
 		clients, servers := gen.ClientServerSplit(g, 0.5, 0.8, *seed)
-		res, err := core.ClientServerTwoSpanner(g, clients, servers, core.Options{Seed: *seed, ExecMode: mode})
+		res, err := core.ClientServerTwoSpanner(g, clients, servers, opts)
 		fail(err)
 		fmt.Printf("client-server 2-spanner: %d edges for %d clients, valid=%v\n",
 			res.Spanner.Len(), clients.Len(),
 			span.ClientServerValid(g, clients, servers, res.Spanner, 2))
 		printStats(res)
 	case "mds":
-		res, err := mds.Run(g, mds.Options{Seed: *seed, ExecMode: mode})
+		mopts := mds.Options{Seed: *seed, ExecMode: mode}
+		if rec != nil {
+			mopts.Tracer = rec
+		}
+		res, err := mds.Run(g, mopts)
 		fail(err)
 		fmt.Printf("dominating set: %d vertices, rounds=%d iterations=%d maxEdgeRoundBits=%d\n",
 			len(res.DominatingSet), res.Stats.Rounds, res.Iterations, res.Stats.MaxEdgeRoundBits)
@@ -133,7 +168,7 @@ func main() {
 				}
 			}
 		}
-		res, err := core.TwoSpannerAugment(g, initial, core.Options{Seed: *seed, ExecMode: mode})
+		res, err := core.TwoSpannerAugment(g, initial, opts)
 		fail(err)
 		fmt.Printf("augmentation: %d free backbone edges + %.0f additions => valid=%v\n",
 			initial.Len(), res.Cost, span.IsKSpanner(g, res.Spanner, 2))
@@ -146,6 +181,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if rec != nil {
+		writeTrace(*traceOut, rec, trace.Meta{
+			Seed:  *seed,
+			Label: fmt.Sprintf("%s %s n=%d", *algo, *family, g.N()),
+			Mode:  *engine,
+		})
+	}
+}
+
+// writeTrace serializes the recorded transcript and prints its digest.
+// A recorder that saw no events means the chosen algorithm never ran
+// the dist engine (a sequential baseline) — flag that instead of
+// writing an empty file silently.
+func writeTrace(path string, rec *trace.Recorder, meta trace.Meta) {
+	if rec.EventCount() == 0 && len(rec.Phases()) == 0 {
+		log.Printf("warning: -trace set but the algorithm recorded no transcript (sequential baseline?)")
+	}
+	f, err := os.Create(path)
+	fail(err)
+	defer f.Close()
+	fail(trace.WriteJSONL(f, meta, rec))
+	d := rec.Digest()
+	fmt.Printf("trace: %d events over %d rounds -> %s (digest %s)\n",
+		rec.EventCount(), len(rec.Phases()), path, d.Run)
 }
 
 func buildGraph(family string, n int, p float64, seed int64) *graph.Graph {

@@ -8,6 +8,8 @@
 //	sweep -scenario mds -workers 8 -csv mds.csv
 //	sweep -scenario twospanner -engine event            # pin the event-driven engine
 //	sweep -scenario twospanner -grid "engine=barrier,event,step;n=128"   # compare engines
+//	sweep -scenario twospanner -timing -csv t.csv       # add wall-clock timing columns
+//	sweep -scenario mds -cpuprofile cpu.pprof           # profile the whole sweep
 //
 // Without -grid the scenario's default cases/grid run. Reports are
 // deterministic functions of (-scenario, -grid, -replicates, -seed);
@@ -15,8 +17,14 @@
 // the "engine" parameter (auto, barrier, event, step), selecting the
 // internal/dist scheduling strategy; -engine overlays it on every cell,
 // and because engine modes are bit-identical by contract, an engine axis
-// in -grid is a pure wall-clock comparison. The exit status is non-zero
-// when any run fails verification or times out.
+// in -grid is a pure wall-clock comparison. -timing overlays the
+// execution-only "timing" parameter, adding per-round wall-time and
+// scheduler-phase-share columns (round_wall_ns_mean/max,
+// time_share_step/route/sync) to the report — wall-clock telemetry, so
+// reports meant to be byte-reproducible should leave it off.
+// -cpuprofile/-memprofile/-exectrace profile the whole sweep process
+// with the standard pprof / runtime-trace tooling. The exit status is
+// non-zero when any run fails verification or times out.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"distspanner/internal/dist"
+	"distspanner/internal/prof"
 	"distspanner/internal/scenario"
 	"distspanner/internal/sweep"
 )
@@ -38,6 +47,10 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "concurrent runs (0: GOMAXPROCS)")
 	seedFlag := flag.Int64("seed", 1, "base seed for deterministic seed derivation")
 	engineFlag := flag.String("engine", "", `execution engine for simulated scenarios: "auto", "barrier", "event", "step" (overlays engine=<v> on every cell)`)
+	timingFlag := flag.Bool("timing", false, "overlay timing=1 on every cell: record per-round wall time and scheduler-phase shares as report columns (wall-clock telemetry; non-deterministic)")
+	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	memprofileFlag := flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+	exectraceFlag := flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	timeoutFlag := flag.Duration("timeout", 2*time.Minute, "per-run timeout (0: none)")
 	jsonFlag := flag.String("json", "", `write the full report as JSON to this path ("-": stdout)`)
 	csvFlag := flag.String("csv", "", `write per-cell aggregates as CSV to this path ("-": stdout)`)
@@ -79,6 +92,20 @@ func main() {
 			cells[i] = cells[i].Merge(scenario.Params{"engine": *engineFlag})
 		}
 	}
+	if *timingFlag {
+		if cells == nil {
+			cells = sc.DefaultCells()
+		}
+		for i := range cells {
+			cells[i] = cells[i].Merge(scenario.Params{"timing": "1"})
+		}
+	}
+
+	stopProfiles, err := prof.Start(*cpuprofileFlag, *memprofileFlag, *exectraceFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
 
 	start := time.Now()
 	rep, err := sweep.Execute(sweep.Options{
@@ -90,10 +117,12 @@ func main() {
 		Timeout:    *timeoutFlag,
 	})
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
+	stopProfiles()
 
 	if err := emit(*jsonFlag, rep.WriteJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -146,4 +175,6 @@ func list() {
 	fmt.Println("weights:  add whi=<max> (and wlo=<min>) to weight any family")
 	fmt.Println("engine:   add engine=barrier|event|step (or -engine) to pick the dist scheduler;")
 	fmt.Println("          modes are bit-identical, so an engine axis compares wall clock only")
+	fmt.Println("timing:   add timing=1 (or -timing) for per-round wall-time and scheduler-share")
+	fmt.Println("          columns — wall-clock telemetry, excluded from deterministic baselines")
 }

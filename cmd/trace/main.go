@@ -1,0 +1,259 @@
+// Command trace inspects the JSONL execution transcripts written by
+// spanner -trace (and validated in CI): per-run summaries, per-round
+// message matrices, activity timelines, and Chrome trace_event export.
+//
+//	trace run.jsonl                       # summary: meta, digest, hot vertices
+//	trace -check run.jsonl                # full validation incl. digest recompute
+//	trace -matrix run.jsonl               # per-round send/deliver/bits table
+//	trace -timeline run.jsonl             # ASCII activity timeline
+//	trace -chrome out.json run.jsonl      # export for chrome://tracing / Perfetto
+//
+// The summary ranks hot vertices by sent messages and sent bits — the
+// vertices that dominate the run's communication. The matrix counts
+// logical events per round; wall-clock columns appear only when the
+// file carries the (opt-in) timing channel. Exit status is non-zero
+// when the file fails to parse or -check finds a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace: ")
+	var (
+		check    = flag.Bool("check", false, "fully validate the file: schema, monotone phase rounds, digest recomputation")
+		matrix   = flag.Bool("matrix", false, "print the per-round message matrix (sends, deliveries, bits, activity)")
+		timeline = flag.Bool("timeline", false, "print an ASCII per-round activity timeline")
+		chrome   = flag.String("chrome", "", "export as Chrome trace_event JSON to this file")
+		top      = flag.Int("top", 5, "number of hot vertices listed in the summary")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace [flags] <run.jsonl>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	fail(err)
+	defer f.Close()
+
+	var lg *trace.Log
+	if *check {
+		lg, err = trace.Check(f)
+	} else {
+		lg, err = trace.ReadJSONL(f)
+	}
+	fail(err)
+	rec := lg.Recorder
+
+	if *check {
+		status := "digest verified"
+		if lg.Digest == nil {
+			status = "no digest line (nothing to verify)"
+		}
+		fmt.Printf("ok: n=%d events=%d rounds=%d timings=%d — %s\n",
+			rec.N(), rec.EventCount(), len(rec.Phases()), len(rec.Timings()), status)
+		return
+	}
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		fail(err)
+		fail(trace.WriteChrome(out, rec))
+		fail(out.Close())
+		fmt.Printf("wrote Chrome trace to %s\n", *chrome)
+		return
+	}
+	switch {
+	case *matrix:
+		printMatrix(rec)
+	case *timeline:
+		printTimeline(rec)
+	default:
+		printSummary(lg, *top)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// roundRow aggregates one round's logical events (and wall time when
+// the timing channel is present).
+type roundRow struct {
+	sends, delivers, wakes, parks, retires int
+	sentBits                               int64
+}
+
+// byRound folds the per-vertex event buffers into per-round rows,
+// returning the rows indexed by round and the max round seen.
+func byRound(rec *trace.Recorder) (map[int]*roundRow, int) {
+	rows := make(map[int]*roundRow)
+	maxRound := 0
+	for v := 0; v < rec.N(); v++ {
+		for _, ev := range rec.VertexEvents(v) {
+			row := rows[ev.Round]
+			if row == nil {
+				row = &roundRow{}
+				rows[ev.Round] = row
+			}
+			if ev.Round > maxRound {
+				maxRound = ev.Round
+			}
+			switch ev.Kind {
+			case dist.TraceSend:
+				row.sends++
+				row.sentBits += int64(ev.Bits)
+			case dist.TraceDeliver:
+				row.delivers++
+			case dist.TraceWake:
+				row.wakes++
+			case dist.TracePark:
+				row.parks++
+			case dist.TraceRetire:
+				row.retires++
+			}
+		}
+	}
+	for _, act := range rec.Phases() {
+		if act.Round > maxRound {
+			maxRound = act.Round
+		}
+	}
+	return rows, maxRound
+}
+
+func printSummary(lg *trace.Log, top int) {
+	rec := lg.Recorder
+	m := lg.Meta
+	fmt.Printf("run: n=%d seed=%d", m.N, m.Seed)
+	if m.Label != "" {
+		fmt.Printf(" label=%q", m.Label)
+	}
+	if m.Mode != "" {
+		fmt.Printf(" mode=%s", m.Mode)
+	}
+	fmt.Println()
+	fmt.Printf("transcript: %d events, %d rounds, %d timing entries\n",
+		rec.EventCount(), len(rec.Phases()), len(rec.Timings()))
+	d := rec.Digest()
+	verified := ""
+	if lg.Digest != nil {
+		if d.Equal(*lg.Digest) {
+			verified = " (matches file)"
+		} else {
+			verified = " (MISMATCH vs file!)"
+		}
+	}
+	fmt.Printf("digest: %s%s\n", d.Run, verified)
+
+	if ts := rec.Timings(); len(ts) > 0 {
+		s := trace.SummarizeTimings(ts)
+		fmt.Printf("timing: wall mean %.0fns max %dns; shares step=%.2f route=%.2f sync=%.2f\n",
+			s.WallMeanNs, s.WallMaxNs, s.StepShare, s.RouteShare, s.SyncShare)
+	}
+
+	// Hot vertices: rank by sent messages, then bits.
+	type hot struct {
+		v, sends int
+		bits     int64
+	}
+	hots := make([]hot, 0, rec.N())
+	for v := 0; v < rec.N(); v++ {
+		h := hot{v: v}
+		for _, ev := range rec.VertexEvents(v) {
+			if ev.Kind == dist.TraceSend {
+				h.sends++
+				h.bits += int64(ev.Bits)
+			}
+		}
+		if h.sends > 0 {
+			hots = append(hots, h)
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].sends != hots[j].sends {
+			return hots[i].sends > hots[j].sends
+		}
+		if hots[i].bits != hots[j].bits {
+			return hots[i].bits > hots[j].bits
+		}
+		return hots[i].v < hots[j].v
+	})
+	if top > len(hots) {
+		top = len(hots)
+	}
+	if top > 0 {
+		fmt.Printf("hot vertices (by sends):\n")
+		for _, h := range hots[:top] {
+			fmt.Printf("  v=%-5d sends=%-6d bits=%d\n", h.v, h.sends, h.bits)
+		}
+	}
+}
+
+func printMatrix(rec *trace.Recorder) {
+	rows, maxRound := byRound(rec)
+	acts := make(map[int]dist.RoundActivity, len(rec.Phases()))
+	for _, act := range rec.Phases() {
+		acts[act.Round] = act
+	}
+	tims := make(map[int]int64, len(rec.Timings()))
+	for _, t := range rec.Timings() {
+		tims[t.Round] = t.Wall.Nanoseconds()
+	}
+	timed := len(tims) > 0
+
+	header := "round  sends  deliv  bits      wakes  parks  retire  active  parked"
+	if timed {
+		header += "  wall_ns"
+	}
+	fmt.Println(header)
+	for r := 1; r <= maxRound; r++ {
+		row := rows[r]
+		if row == nil {
+			row = &roundRow{}
+		}
+		act := acts[r]
+		fmt.Printf("%-6d %-6d %-6d %-9d %-6d %-6d %-7d %-7d %-6d",
+			r, row.sends, row.delivers, row.sentBits,
+			row.wakes, row.parks, row.retires, act.Active, act.Parked)
+		if timed {
+			fmt.Printf("  %d", tims[r])
+		}
+		fmt.Println()
+	}
+}
+
+// printTimeline renders the activity curve: one row per round, a bar of
+// '#' (active) and '.' (parked) scaled to the vertex count.
+func printTimeline(rec *trace.Recorder) {
+	const width = 60
+	n := rec.N()
+	if n == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	fmt.Printf("activity timeline (%d vertices, # active, . parked, width %d):\n", n, width)
+	for _, act := range rec.Phases() {
+		active := act.Active * width / n
+		parked := act.Parked * width / n
+		if active+parked > width {
+			parked = width - active
+		}
+		bar := strings.Repeat("#", active) + strings.Repeat(".", parked)
+		fmt.Printf("%-5d |%-*s| active=%d parked=%d senders=%d\n",
+			act.Round, width, bar, act.Active, act.Parked, act.Senders)
+	}
+}

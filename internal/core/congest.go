@@ -417,6 +417,7 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 		MaxRounds: opts.MaxRounds,
 		OnRound:   opts.RoundHook,
 		Cancel:    opts.Cancel,
+		Tracer:    opts.Tracer,
 	}, func(ctx *dist.Ctx) dist.Machine {
 		cc := newCongestCtx(ctx, maxDeg)
 		if ctx.ID() == 0 {

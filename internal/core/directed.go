@@ -105,6 +105,7 @@ func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 	stats, err := dist.RunMachines(dist.Config{
 		Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
 		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
+		Tracer: opts.Tracer,
 	}, func(ctx *dist.Ctx) dist.Machine {
 		nd := newDirectedNode(ctx, d, outs, iters, &fallbacks)
 		nd.tele = tele

@@ -31,6 +31,10 @@ type Options struct {
 	// once closed (see dist.Config.Cancel); timed-out sweeps use it so an
 	// abandoned run actually stops.
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, receives the run's execution narration — the
+	// deterministic logical transcript and the wall-clock timing channel
+	// (see dist.Config.Tracer). Zero cost when nil.
+	Tracer dist.Tracer
 
 	// VoteDenominator is an ablation knob for the acceptance rule: a
 	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
@@ -208,6 +212,7 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 	stats, err := dist.RunMachines(dist.Config{
 		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
 		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
+		Tracer: opts.Tracer,
 	}, func(ctx *dist.Ctx) dist.Machine {
 		nd := newUndirectedNode(ctx, g, v, outs, iters, &fallbacks)
 		nd.opts = opts

@@ -43,7 +43,12 @@ func TestActivityAllBusy(t *testing.T) {
 			t.Fatalf("mode %v: OnRound fired %d times, want %d", mode, len(curve), rounds)
 		}
 		for i, a := range curve {
-			want := RoundActivity{Round: i + 1, Active: g.N(), Parked: 0, Senders: g.N()}
+			// Every broadcast is delivered: n senders × (n-1) receivers of an
+			// 8-bit payload per round.
+			want := RoundActivity{
+				Round: i + 1, Active: g.N(), Parked: 0, Senders: g.N(),
+				Delivered: g.N() * (g.N() - 1), DeliveredBits: int64(8 * g.N() * (g.N() - 1)),
+			}
 			if a != want {
 				t.Fatalf("mode %v round %d: activity = %+v, want %+v", mode, i+1, a, want)
 			}
@@ -63,7 +68,7 @@ func TestActivityCurveWithParkedVertices(t *testing.T) {
 		{Round: 1, Active: 3, Parked: 2, Senders: 0},
 		{Round: 2, Active: 1, Parked: 2, Senders: 0},
 		{Round: 3, Active: 1, Parked: 2, Senders: 0},
-		{Round: 4, Active: 1, Parked: 1, Senders: 1},
+		{Round: 4, Active: 1, Parked: 1, Senders: 1, Delivered: 1, DeliveredBits: 8},
 	}
 	g := path(3)
 	for _, mode := range []Mode{ModeBarrier, ModeEvent} {

@@ -269,3 +269,68 @@ func BenchmarkMachineBusy(b *testing.B) {
 		}
 	}
 }
+
+// nullTracer drops every hook call: the traced benchmark variants
+// measure the engine-side cost of tracing itself (timestamps, event
+// construction, delivery metering), not the cost of any recorder.
+type nullTracer struct{}
+
+func (nullTracer) Event(TraceEvent)      {}
+func (nullTracer) Phase(RoundActivity)   {}
+func (nullTracer) RoundTime(RoundTiming) {}
+
+// BenchmarkTraceOverheadBusy pairs untraced and traced runs of the
+// fully-busy record gossip — the most events per round, hence the
+// tracing worst case. tracer=off is the nil-Tracer disabled path the
+// benchgate guards against regressing; tracer=null isolates what
+// enabling the hooks costs on top.
+func BenchmarkTraceOverheadBusy(b *testing.B) {
+	for _, n := range []int{256, 2048} {
+		for _, v := range []struct {
+			name string
+			tr   Tracer
+		}{{"off", nil}, {"null", nullTracer{}}} {
+			b.Run(fmt.Sprintf("n=%d/tracer=%s", n, v.name), func(b *testing.B) {
+				g := benchGraph(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stats, err := Run(Config{Graph: g, Seed: 1, Mode: ModeBarrier, Tracer: v.tr}, benchProcRec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.Rounds != benchRounds {
+						b.Fatalf("rounds = %d", stats.Rounds)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(benchRounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverheadQuiet is the same pair in the quiet regime —
+// one driver, everyone parked — where per-round fixed costs (the
+// timestamp reads and Phase emission) dominate over per-event costs.
+func BenchmarkTraceOverheadQuiet(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		tr   Tracer
+	}{{"off", nil}, {"null", nullTracer{}}} {
+		b.Run(fmt.Sprintf("n=2048/tracer=%s", v.name), func(b *testing.B) {
+			g := benchGraph(2048)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := Run(Config{Graph: g, Seed: 1, Mode: ModeEvent, Tracer: v.tr}, quietProc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Rounds != quietBenchRounds {
+					b.Fatalf("rounds = %d", stats.Rounds)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(quietBenchRounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}

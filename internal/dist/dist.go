@@ -86,6 +86,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"distspanner/internal/graph"
 )
@@ -149,6 +150,15 @@ type Config struct {
 	// so a canceled run stops within one round and releases every vertex
 	// goroutine; timed-out sweep runs use it to avoid leaking writers.
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, receives the run's execution narration: the
+	// deterministic logical transcript (per-vertex send/deliver/wake/
+	// park/retire events plus per-round Phase snapshots) and the
+	// separate wall-clock timing channel. See trace.go for the contract.
+	// Tracer calls happen at the engine's existing serialization points
+	// — the same discipline as OnRound — and must not call back into the
+	// engine or block. A nil Tracer costs nothing: no timestamps are
+	// taken and the hot path performs zero extra allocations.
+	Tracer Tracer
 }
 
 // DefaultMaxRounds is the round limit used when Config.MaxRounds is zero.
@@ -191,6 +201,9 @@ type engine struct {
 	sem       chan struct{}   // nil: unlimited concurrency
 	routePar  int             // goroutines for sharded metering
 	stepPar   int             // goroutines for sharded machine stepping
+	tracer    Tracer          // nil: tracing disabled (zero cost)
+	timed     bool            // tracer != nil: take round timestamps
+	meterDlv  bool            // compute per-round delivery counts (OnRound or Tracer set)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -207,6 +220,16 @@ type engine struct {
 	woken    []*Ctx // parked vertices receiving messages this round
 
 	reports chan vreport // event mode: vertex -> scheduler hand-off
+
+	// Timing-channel scratch (tracer installed only): the previous round
+	// boundary and the current round's accumulated routing/stepping time.
+	lastTick time.Time
+	routeNs  int64
+	stepNs   int64
+	// Delivery counters of the current round (meterDlv only), folded into
+	// RoundActivity by recordRoundLocked.
+	deliv     int
+	delivBits int64
 
 	ctxs  []*Ctx
 	stats Stats
@@ -252,6 +275,12 @@ func newEngine(cfg Config, machines bool) (*engine, error) {
 		stepPar:   stepWorkers(cfg),
 		running:   n,
 		onRound:   cfg.OnRound,
+		tracer:    cfg.Tracer,
+		timed:     cfg.Tracer != nil,
+		meterDlv:  cfg.OnRound != nil || cfg.Tracer != nil,
+	}
+	if e.timed {
+		e.lastTick = time.Now()
 	}
 	if e.maxRounds <= 0 {
 		e.maxRounds = DefaultMaxRounds
@@ -297,6 +326,10 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 	if e == nil {
 		return &Stats{}, nil
 	}
+	if e.timed {
+		// Round 1's wall time starts at launch, not at engine construction.
+		e.lastTick = time.Now()
+	}
 	if e.mode == ModeEvent {
 		e.runEvent(proc)
 	} else {
@@ -331,8 +364,15 @@ func RunMachines(cfg Config, factory func(*Ctx) Machine) (*Stats, error) {
 		for v := 0; v < e.n; v++ {
 			machines[v] = factory(e.ctxs[v])
 		}
+		if e.timed {
+			// Machine construction is setup, not round 1.
+			e.lastTick = time.Now()
+		}
 		e.runStep(machines)
 		return e.result()
+	}
+	if e.timed {
+		e.lastTick = time.Now()
 	}
 	proc := func(c *Ctx) { driveMachine(c, factory(c)) }
 	if e.mode == ModeEvent {
@@ -421,6 +461,7 @@ func (e *engine) finish(c *Ctx) {
 		c.clearSends()
 	}
 	c.done = true
+	e.traceBlocked(TraceRetire, c.id)
 	e.running--
 	e.stepped++
 	e.maybeAdvanceLocked()
@@ -490,6 +531,7 @@ func (e *engine) park(c *Ctx) bool {
 		e.dirty = append(e.dirty, c)
 	}
 	c.parked = true
+	e.traceBlocked(TracePark, c.id)
 	e.running--
 	e.parked++
 	e.stepped++
@@ -601,13 +643,18 @@ func (e *engine) completeRoundLocked() {
 }
 
 // recordRoundLocked folds the completed round's activity into Stats and
-// fires the OnRound hook. Called with every vertex blocked (under e.mu in
-// barrier mode, from the scheduler in event mode), identically in both
-// modes: Active counts the vertices that blocked or retired since the
-// previous completion, Parked the vertices still parked after this
-// round's deliveries.
+// fires the OnRound hook and the tracer's Phase/RoundTime calls. Called
+// with every vertex blocked (under e.mu in barrier mode, from the
+// scheduler in event and step mode), identically in every mode: Active
+// counts the vertices that blocked or retired since the previous
+// completion, Parked the vertices still parked after this round's
+// deliveries, Delivered/DeliveredBits the payloads routing just placed
+// in live inboxes (computed only when OnRound or Tracer is set).
 func (e *engine) recordRoundLocked() {
-	act := RoundActivity{Round: e.stats.Rounds, Active: e.stepped, Parked: e.parked, Senders: e.senders}
+	act := RoundActivity{
+		Round: e.stats.Rounds, Active: e.stepped, Parked: e.parked, Senders: e.senders,
+		Delivered: e.deliv, DeliveredBits: e.delivBits,
+	}
 	e.stats.ActiveSteps += int64(act.Active)
 	e.stats.ParkedSteps += int64(act.Parked)
 	if act.Active > e.stats.PeakActive {
@@ -615,8 +662,18 @@ func (e *engine) recordRoundLocked() {
 	}
 	e.stepped = 0
 	e.senders = 0
+	e.deliv, e.delivBits = 0, 0
+	if e.tracer != nil {
+		e.tracer.Phase(act)
+		e.traceRoundTime(act.Round)
+	}
 	if e.onRound != nil {
 		e.onRound(act)
+	}
+	if e.timed {
+		// Hook and tracer time belongs to neither round: re-arm the
+		// boundary timestamp after the callbacks return.
+		e.lastTick = time.Now()
 	}
 }
 
@@ -630,7 +687,20 @@ type meterResult struct {
 	violBits        int
 }
 
-// routeLocked aggregates statistics and delivers all outboxes. The dirty
+// routeLocked aggregates statistics and delivers all outboxes, timing
+// the pass for the tracer's timing channel when one is installed. The
+// logical work lives in route.
+func (e *engine) routeLocked() {
+	if !e.timed {
+		e.route()
+		return
+	}
+	t0 := time.Now()
+	e.route()
+	e.routeNs += int64(time.Since(t0))
+}
+
+// route aggregates statistics and delivers all outboxes. The dirty
 // list holds exactly the vertices that queued sends this round (registered
 // as they blocked), in arrival order; it is re-sorted by vertex id so
 // inboxes arrive sorted by sender and every statistic is deterministic
@@ -639,8 +709,11 @@ type meterResult struct {
 // flipped awake and collected in e.woken for the caller's mode-specific
 // bookkeeping. In barrier mode the caller holds e.mu; in event mode the
 // scheduler calls it while every vertex is blocked, which serializes it
-// just as well.
-func (e *engine) routeLocked() {
+// just as well. With a tracer installed, the serial delivery loop is
+// also where Send/Deliver/Wake events are emitted — senders in
+// ascending id, a sender's payloads in send order, boxed before record
+// sends — which is what makes the logical transcript deterministic.
+func (e *engine) route() {
 	// All vertices are blocked while routing runs, so truncating in place
 	// cannot race with new arrivals registering.
 	senders := e.dirty
@@ -693,13 +766,34 @@ func (e *engine) routeLocked() {
 		}
 		for _, m := range c.outbox {
 			to := e.ctxs[m.to]
+			var b int
+			if e.meterDlv {
+				// Delivery accounting re-sizes the payload (senders meter in
+				// the parallel shards above); only paid with OnRound/Tracer.
+				if b = m.p.Bits(); b < 0 {
+					b = 0
+				}
+				if e.tracer != nil {
+					e.tracer.Event(TraceEvent{Kind: TraceSend, Round: e.stats.Rounds, V: c.id, Peer: m.to, Boxed: true, Bits: b})
+				}
+			}
 			if to.done {
 				continue
+			}
+			if e.meterDlv {
+				e.deliv++
+				e.delivBits += int64(b)
+				if e.tracer != nil {
+					e.tracer.Event(TraceEvent{Kind: TraceDeliver, Round: e.stats.Rounds, V: m.to, Peer: c.id, Boxed: true, Bits: b})
+				}
 			}
 			to.inbox = append(to.inbox, Message{From: c.id, Payload: m.p})
 			if to.parked {
 				to.parked = false
 				e.woken = append(e.woken, to)
+				if e.tracer != nil {
+					e.tracer.Event(TraceEvent{Kind: TraceWake, Round: e.stats.Rounds, V: m.to, Peer: c.id})
+				}
 			}
 		}
 		// Record deliveries: copy the header and the packed int tail into
@@ -709,8 +803,18 @@ func (e *engine) routeLocked() {
 		for ri := range c.outRecs {
 			o := &c.outRecs[ri]
 			to := e.ctxs[o.to]
+			if e.tracer != nil {
+				e.tracer.Event(TraceEvent{Kind: TraceSend, Round: e.stats.Rounds, V: c.id, Peer: int(o.to), Tag: o.tag, Bits: int(o.bits)})
+			}
 			if to.done {
 				continue
+			}
+			if e.meterDlv {
+				e.deliv++
+				e.delivBits += int64(o.bits)
+				if e.tracer != nil {
+					e.tracer.Event(TraceEvent{Kind: TraceDeliver, Round: e.stats.Rounds, V: int(o.to), Peer: c.id, Tag: o.tag, Bits: int(o.bits)})
+				}
 			}
 			off := int32(len(to.inInts))
 			if o.n > 0 {
@@ -724,6 +828,9 @@ func (e *engine) routeLocked() {
 			if to.parked {
 				to.parked = false
 				e.woken = append(e.woken, to)
+				if e.tracer != nil {
+					e.tracer.Event(TraceEvent{Kind: TraceWake, Round: e.stats.Rounds, V: int(o.to), Peer: c.id})
+				}
 			}
 		}
 		c.clearSends()

@@ -146,12 +146,14 @@ func (e *engine) schedule() {
 				}
 			case reportPark:
 				r.c.parked = true
+				e.traceBlocked(TracePark, r.c.id)
 				e.parked++
 				if r.c.hasSends() {
 					e.dirty = append(e.dirty, r.c)
 				}
 			case reportDone:
 				r.c.done = true
+				e.traceBlocked(TraceRetire, r.c.id)
 				// Retire-flush: a retiring vertex's sends are committed by
 				// the retirement itself (see engine.finish) — unless the run
 				// is over, in which case they are discarded below or by the

@@ -46,8 +46,21 @@ type Stats struct {
 }
 
 // RoundActivity is the per-round activity snapshot passed to
-// Config.OnRound after each completed round. All fields are deterministic
-// functions of (Config, procedure) and identical across execution modes.
+// Config.OnRound (and Tracer.Phase) after each completed round. Every
+// field is a deterministic function of (Config.Graph, Config.Seed,
+// procedure) and identical across the three execution modes — the
+// cross-mode equivalence tests assert this, and the snapshot is part of
+// the logical transcript that trace.Digest hashes. Field by field:
+//
+//   - Round: deterministic; rounds complete in the same order and count
+//     in every mode.
+//   - Active, Parked, Senders: deterministic; which vertices block,
+//     park, or send in a round depends only on delivered messages and
+//     per-vertex RNG streams, never on scheduling.
+//   - Delivered, DeliveredBits: deterministic when computed. They are
+//     only accumulated when Config.OnRound or Config.Tracer is set
+//     (delivery-side accounting re-sizes each payload, a cost the bare
+//     hot path must not pay) and read as zero otherwise.
 type RoundActivity struct {
 	// Round is the 1-based number of the round that just completed.
 	Round int
@@ -60,6 +73,14 @@ type RoundActivity struct {
 	// Senders is the number of vertices that committed at least one send
 	// this round.
 	Senders int
+	// Delivered is the number of payloads the round's routing placed in
+	// live inboxes — sends to already-retired vertices are metered in
+	// Stats but not delivered, so Delivered <= the round's share of
+	// Stats.Messages. Zero unless OnRound or Tracer is configured.
+	Delivered int
+	// DeliveredBits is the total metered size of the Delivered payloads.
+	// Zero unless OnRound or Tracer is configured.
+	DeliveredBits int64
 }
 
 // CongestCompatible reports whether every directed edge stayed within

@@ -3,6 +3,7 @@ package dist
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // The ModeStep scheduler: vertices are explicit state machines stepped
@@ -33,7 +34,13 @@ func (e *engine) runStep(machines []Machine) {
 	done := 0
 	var yielded []*Ctx
 	for {
-		e.stepMachines(machines, status, ins, active)
+		if e.timed {
+			t0 := time.Now()
+			e.stepMachines(machines, status, ins, active)
+			e.stepNs += int64(time.Since(t0))
+		} else {
+			e.stepMachines(machines, status, ins, active)
+		}
 		if e.abort != nil {
 			return
 		}
@@ -48,12 +55,14 @@ func (e *engine) runStep(machines []Machine) {
 				}
 			case StepPark:
 				c.parked = true
+				e.traceBlocked(TracePark, c.id)
 				e.parked++
 				if c.hasSends() {
 					e.dirty = append(e.dirty, c)
 				}
 			case StepDone:
 				c.done = true
+				e.traceBlocked(TraceRetire, c.id)
 				// Retire-flush: a retiring vertex's sends are committed by
 				// the retirement itself (see engine.finish).
 				if !e.quiesced && c.hasSends() {
@@ -214,6 +223,7 @@ func (e *engine) stepEpilogue(m Machine, c *Ctx) {
 		switch st {
 		case StepDone:
 			c.done = true
+			e.traceBlocked(TraceRetire, c.id)
 			return
 		case StepYield:
 			in = StepIn{}

@@ -73,6 +73,9 @@ type Options struct {
 	// Cancel, when non-nil, aborts the run when closed (see
 	// dist.Config.Cancel).
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, receives the run's execution narration (see
+	// dist.Config.Tracer). Zero cost when nil.
+	Tracer dist.Tracer
 }
 
 // Result reports the outcome.
@@ -184,6 +187,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		MaxRounds: opts.MaxRounds,
 		OnRound:   opts.RoundHook,
 		Cancel:    opts.Cancel,
+		Tracer:    opts.Tracer,
 	}, func(ctx *dist.Ctx) dist.Machine {
 		v := newNode(ctx)
 		v.inDS, v.iters = inDS, iters

@@ -1,0 +1,71 @@
+// Package prof is the shared CLI profiling harness: it starts the
+// standard process-wide profilers (CPU pprof, runtime execution trace)
+// and registers an at-exit allocation profile, returning a single stop
+// function the command defers. It exists so every cmd/ binary exposes
+// the same -cpuprofile/-memprofile/-exectrace surface without each one
+// re-implementing the open/start/stop/close dance.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start starts the profilers whose output paths are non-empty and
+// returns the function that stops them and writes the at-exit profiles.
+// The returned stop is never nil and is safe to call even when Start
+// fails partway: profilers already started are stopped. cpu and exec
+// stream for the process lifetime; mem is a single "allocs" snapshot
+// (after a forced GC) taken when stop runs.
+func Start(cpu, mem, exec string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		stops = nil
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if exec != "" {
+		f, err := os.Create(exec)
+		if err != nil {
+			stop()
+			return stop, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return stop, err
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	if mem != "" {
+		path := mem
+		stops = append(stops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		})
+	}
+	return stop, nil
+}

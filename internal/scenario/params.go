@@ -104,7 +104,10 @@ func (p Params) Key() string {
 // InstanceKey so that cells differing only in execution knobs draw the
 // same derived seeds — which is what makes an engine={barrier,event,step}
 // sweep axis a pure wall-clock comparison over identical instances.
-var execOnlyParams = map[string]bool{"engine": true}
+// "timing" (record the wall-clock timing channel and surface it as
+// metrics) is likewise pure observation: it must not change which
+// instance a cell runs.
+var execOnlyParams = map[string]bool{"engine": true, "timing": true}
 
 // InstanceKey is Key with execution-only parameters (the dist engine
 // selection) removed: the identity of the probabilistic instance, used by

@@ -13,6 +13,7 @@ import (
 	"distspanner/internal/localmodel"
 	"distspanner/internal/mds"
 	"distspanner/internal/span"
+	"distspanner/internal/trace"
 )
 
 // graphMetrics are the instance-shape observations shared by every
@@ -96,8 +97,13 @@ func execMode(p Params) dist.Mode {
 	return m
 }
 
-func coreOptions(p Params, seed int64, cancel <-chan struct{}) core.Options {
-	return core.Options{
+// coreOptions builds the shared core options plus the run's timing
+// recorder (nil unless the execution-only "timing" parameter is set —
+// see timingTracer). The recorder, when present, is already installed
+// as the options' Tracer; the caller folds it into the metrics with
+// timingMetrics after the run.
+func coreOptions(p Params, seed int64, cancel <-chan struct{}) (core.Options, *trace.TimingRecorder) {
+	opts := core.Options{
 		Seed:            seed,
 		ExecMode:        execMode(p),
 		VoteDenominator: p.Int("votden", 0),
@@ -105,6 +111,43 @@ func coreOptions(p Params, seed int64, cancel <-chan struct{}) core.Options {
 		NoRounding:      p.Bool("noround", false),
 		Cancel:          cancel,
 	}
+	tim := timingTracer(p)
+	if tim != nil {
+		opts.Tracer = tim
+	}
+	return opts, tim
+}
+
+// timingTracer parses the shared execution-only "timing" parameter: when
+// true, the run records its wall-clock timing channel (per-round wall
+// time and scheduler-phase split) through a trace.TimingRecorder and
+// surfaces it via timingMetrics. Like "engine", the parameter selects
+// how a run executes, not what instance it runs on: it is excluded from
+// InstanceKey, and the timing columns are nondeterministic wall-clock
+// telemetry — reports meant to be byte-reproducible should leave it off
+// (the default).
+func timingTracer(p Params) *trace.TimingRecorder {
+	if !p.Bool("timing", false) {
+		return nil
+	}
+	return &trace.TimingRecorder{}
+}
+
+// timingMetrics folds a run's recorded timing channel into the metrics:
+// round_wall_ns_mean / round_wall_ns_max (per-round wall time) and the
+// time_share_{step,route,sync} scheduler-phase fractions. A nil recorder
+// (timing off) adds nothing, keeping default reports wall-clock-free.
+func timingMetrics(tr *trace.TimingRecorder, m Metrics) Metrics {
+	if tr == nil {
+		return m
+	}
+	s := trace.SummarizeTimings(tr.Timings())
+	m["round_wall_ns_mean"] = s.WallMeanNs
+	m["round_wall_ns_max"] = float64(s.WallMaxNs)
+	m["time_share_step"] = s.StepShare
+	m["time_share_route"] = s.RouteShare
+	m["time_share_sync"] = s.SyncShare
+	return m
 }
 
 func init() {
@@ -125,12 +168,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpanner(g, coreOptions(p, seed, cancel))
+			opts, tim := coreOptions(p, seed, cancel)
+			res, err := core.TwoSpanner(g, opts)
 			if err != nil {
 				return nil, err
 			}
 			m := graphMetrics(g, Metrics{})
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["size"] = float64(res.Spanner.Len())
 			m["cost"] = res.Cost
 			m["iterations"] = float64(res.Iterations)
@@ -170,12 +215,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpannerCongest(g, coreOptions(p, seed, cancel))
+			opts, tim := coreOptions(p, seed, cancel)
+			res, err := core.TwoSpannerCongest(g, opts)
 			if err != nil {
 				return nil, err
 			}
 			m := graphMetrics(g, Metrics{})
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["size"] = float64(res.Spanner.Len())
 			m["iterations"] = float64(res.Iterations)
 			m["subrounds"] = float64(res.Subrounds)
@@ -207,12 +254,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.DirectedTwoSpanner(d, coreOptions(p, seed, cancel))
+			opts, tim := coreOptions(p, seed, cancel)
+			res, err := core.DirectedTwoSpanner(d, opts)
 			if err != nil {
 				return nil, err
 			}
 			m := Metrics{"n": float64(d.N()), "m": float64(d.M())}
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["size"] = float64(res.Spanner.Len())
 			m["iterations"] = float64(res.Iterations)
 			if !span.IsDirectedKSpanner(d, res.Spanner, 2) {
@@ -239,12 +288,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.TwoSpanner(g, coreOptions(p, seed, cancel))
+			opts, tim := coreOptions(p, seed, cancel)
+			res, err := core.TwoSpanner(g, opts)
 			if err != nil {
 				return nil, err
 			}
 			m := graphMetrics(g, Metrics{})
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["size"] = float64(res.Spanner.Len())
 			m["cost"] = res.Cost
 			m["iterations"] = float64(res.Iterations)
@@ -280,12 +331,14 @@ func init() {
 				return nil, err
 			}
 			clients, servers := gen.ClientServerSplit(g, p.Float("pc", 0.6), p.Float("ps", 0.7), instanceSeed(p, seed)+0xc5)
-			res, err := core.ClientServerTwoSpanner(g, clients, servers, coreOptions(p, seed, cancel))
+			opts, tim := coreOptions(p, seed, cancel)
+			res, err := core.ClientServerTwoSpanner(g, clients, servers, opts)
 			if err != nil {
 				return nil, err
 			}
 			m := graphMetrics(g, Metrics{})
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["clients"] = float64(clients.Len())
 			m["servers"] = float64(servers.Len())
 			m["client_vertices"] = float64(span.ClientVertexCount(g, clients))
@@ -316,12 +369,18 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := mds.Run(g, mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Cancel: cancel})
+			mopts := mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Cancel: cancel}
+			tim := timingTracer(p)
+			if tim != nil {
+				mopts.Tracer = tim
+			}
+			res, err := mds.Run(g, mopts)
 			if err != nil {
 				return nil, err
 			}
 			m := graphMetrics(g, Metrics{})
 			statsMetrics(res.Stats, m)
+			timingMetrics(tim, m)
 			m["size"] = float64(len(res.DominatingSet))
 			m["iterations"] = float64(res.Iterations)
 			m["ln_delta_bound"] = math.Log(float64(g.MaxDegree())) + 1

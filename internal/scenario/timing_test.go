@@ -1,0 +1,58 @@
+package scenario
+
+import "testing"
+
+// TestTimingMetricsOptIn asserts the timing columns' contract: absent
+// by default (reports stay byte-reproducible), present on every
+// simulated scenario when the execution-only timing parameter is set,
+// with shares in [0,1] and a positive wall mean. It also pins that
+// "timing" does not change the instance: the logical metrics of a
+// timed and an untimed run of the same cell must agree exactly.
+func TestTimingMetricsOptIn(t *testing.T) {
+	timingCols := []string{
+		"round_wall_ns_mean", "round_wall_ns_max",
+		"time_share_step", "time_share_route", "time_share_sync",
+	}
+	for _, name := range []string{"twospanner", "twospanner-congest", "twospanner-directed", "twospanner-weighted", "twospanner-cs", "mds"} {
+		sc, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		cell := sc.Defaults.Merge(Params{"n": "48"})
+
+		plain, err := sc.Run(cell, 3, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, key := range timingCols {
+			if _, present := plain[key]; present {
+				t.Errorf("%s: %q present without timing=1", name, key)
+			}
+		}
+
+		timed, err := sc.Run(cell.Merge(Params{"timing": "1"}), 3, nil)
+		if err != nil {
+			t.Fatalf("%s (timed): %v", name, err)
+		}
+		for _, key := range timingCols {
+			if _, present := timed[key]; !present {
+				t.Errorf("%s: %q missing with timing=1", name, key)
+			}
+		}
+		if timed["round_wall_ns_mean"] <= 0 {
+			t.Errorf("%s: round_wall_ns_mean = %v", name, timed["round_wall_ns_mean"])
+		}
+		for _, key := range []string{"time_share_step", "time_share_route", "time_share_sync"} {
+			if s := timed[key]; s < 0 || s > 1 {
+				t.Errorf("%s: %s = %v outside [0,1]", name, key, s)
+			}
+		}
+
+		// Observation must not perturb the instance or the run.
+		for key, v := range plain {
+			if tv, ok := timed[key]; !ok || tv != v {
+				t.Errorf("%s: logical metric %q changed under timing: %v vs %v", name, key, v, tv)
+			}
+		}
+	}
+}

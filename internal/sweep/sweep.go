@@ -15,7 +15,10 @@
 // the dist scheduler) are excluded from the instance key: cells differing
 // only in engine run identical instances and must report identical
 // metrics, making an engine axis a pure wall-clock comparison. Wall-clock
-// durations are deliberately excluded from the serialized report.
+// durations are excluded from the serialized report by default; the
+// execution-only "timing" parameter opts in to per-round wall-time
+// metrics (round_wall_ns_mean/max, time_share_*), which are telemetry —
+// reports carrying them are not byte-reproducible.
 package sweep
 
 import (

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace_event export: renders the timing channel as nested
+// complete ("X") slices — one per round, with step/route/sync children
+// — and the logical activity curve as counter ("C") tracks, producing a
+// file chrome://tracing and Perfetto open directly. Timestamps are
+// cumulative round wall times, so the rendering is a faithful picture
+// of where the run's wall clock went; the logical transcript itself is
+// not rendered (use the JSONL form and cmd/trace for that).
+
+// chromeEvent is one trace_event entry. Durations and timestamps are in
+// microseconds (the format's unit), kept as float64 for sub-µs rounds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the recorded run as a Chrome trace_event JSON
+// document. Rounds missing a timing entry (logical-only logs) get a
+// nominal 1µs slice so the counter tracks still render.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Index timings by round; phases drive the iteration so logical-only
+	// recorders still export.
+	byRound := make(map[int]int, len(r.timings))
+	for i, t := range r.timings {
+		byRound[t.Round] = i
+	}
+	rounds := r.phases
+	ts := 0.0
+	for _, act := range rounds {
+		wall, step, route, sync := 1.0, 0.0, 0.0, 0.0 // µs fallback
+		if i, ok := byRound[act.Round]; ok {
+			t := r.timings[i]
+			wall = float64(t.Wall.Nanoseconds()) / 1e3
+			step = float64(t.Step.Nanoseconds()) / 1e3
+			route = float64(t.Route.Nanoseconds()) / 1e3
+			sync = float64(t.Sync.Nanoseconds()) / 1e3
+		}
+		if err := emit(chromeEvent{
+			Name: "round", Ph: "X", Ts: ts, Dur: wall, Pid: 0, Tid: 0,
+			Args: map[string]any{"round": act.Round},
+		}); err != nil {
+			return err
+		}
+		off := ts
+		for _, part := range []struct {
+			name string
+			dur  float64
+		}{{"step", step}, {"route", route}, {"sync", sync}} {
+			if part.dur <= 0 {
+				continue
+			}
+			if err := emit(chromeEvent{Name: part.name, Ph: "X", Ts: off, Dur: part.dur, Pid: 0, Tid: 1}); err != nil {
+				return err
+			}
+			off += part.dur
+		}
+		for _, ctr := range []struct {
+			name string
+			val  int64
+		}{
+			{"active", int64(act.Active)}, {"parked", int64(act.Parked)},
+			{"senders", int64(act.Senders)}, {"delivered", int64(act.Delivered)},
+			{"delivered_bits", act.DeliveredBits},
+		} {
+			if err := emit(chromeEvent{
+				Name: ctr.name, Ph: "C", Ts: ts, Pid: 0, Tid: 0,
+				Args: map[string]any{"value": ctr.val},
+			}); err != nil {
+				return err
+			}
+		}
+		ts += wall
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeWellFormed checks the trace_event export is valid JSON
+// with the expected track structure: per round, one "X" round slice,
+// up-to-three phase children, and five "C" counters.
+func TestWriteChromeWellFormed(t *testing.T) {
+	rec := realRecorder(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	rounds := len(rec.Phases())
+	var slices, counters int
+	lastTs := -1.0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "round" {
+				slices++
+				if ev.Ts < lastTs {
+					t.Errorf("round slices not time-ordered: ts %v after %v", ev.Ts, lastTs)
+				}
+				lastTs = ev.Ts
+			}
+		case "C":
+			counters++
+		default:
+			t.Errorf("unexpected phase type %q", ev.Ph)
+		}
+	}
+	if slices != rounds {
+		t.Errorf("round slices = %d, want %d", slices, rounds)
+	}
+	if counters != 5*rounds {
+		t.Errorf("counter events = %d, want %d", counters, 5*rounds)
+	}
+}
+
+// TestWriteChromeLogicalOnly exercises the fallback path: a recorder
+// with phases but no timing channel still exports renderable slices.
+func TestWriteChromeLogicalOnly(t *testing.T) {
+	rec := realRecorder(t)
+	rec.timings = nil
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc["traceEvents"].([]any)) == 0 {
+		t.Error("logical-only export produced no events")
+	}
+}

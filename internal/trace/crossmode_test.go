@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"distspanner/internal/core"
+	"distspanner/internal/dist"
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+	"distspanner/internal/mds"
+)
+
+// Cross-engine digest equality — the tentpole acceptance test: every
+// algorithm family, on scenario-representative instances, must produce
+// the identical logical transcript (same Digest) under the barrier,
+// event, and goroutine-free step engines. The digest collapses the full
+// per-vertex transcript, so any divergence in message content, order,
+// lifecycle, or per-round activity fails here.
+
+var engineModes = []dist.Mode{dist.ModeBarrier, dist.ModeEvent, dist.ModeStep}
+
+// algoFamilies enumerates the dist-engine algorithm families the
+// scenario registry exposes, each run the way its scenario runs it.
+var algoFamilies = []struct {
+	name string
+	run  func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error
+}{
+	{"twospanner", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		_, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+	{"congest", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		_, err := core.TwoSpannerCongest(g, core.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+	{"directed", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		d := gen.OrientRandomly(g, 0.3, seed)
+		_, err := core.DirectedTwoSpanner(d, core.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+	{"cs", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		clients, servers := gen.ClientServerSplit(g, 0.5, 0.8, seed)
+		_, err := core.ClientServerTwoSpanner(g, clients, servers, core.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+	{"weighted", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		wg := g.Clone()
+		gen.RandomWeights(wg, 1, 8, seed)
+		_, err := core.TwoSpanner(wg, core.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+	{"mds", func(g *graph.Graph, seed int64, mode dist.Mode, tr dist.Tracer) error {
+		_, err := mds.Run(g, mds.Options{Seed: seed, ExecMode: mode, Tracer: tr})
+		return err
+	}},
+}
+
+func TestCrossModeDigestEquality(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp48":    gen.ConnectedGNP(48, 0.15, 1),
+		"clique12": gen.Clique(12),
+		"grid6":    gen.Grid(6, 6),
+	}
+	for _, fam := range algoFamilies {
+		for gname, g := range graphs {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", fam.name, gname, seed), func(t *testing.T) {
+					var ref Digest
+					for i, mode := range engineModes {
+						rec := NewRecorder(g.N())
+						if err := fam.run(g, seed, mode, rec); err != nil {
+							t.Fatalf("mode %v: %v", mode, err)
+						}
+						if rec.EventCount() == 0 {
+							t.Fatalf("mode %v recorded no events", mode)
+						}
+						d := rec.Digest()
+						if i == 0 {
+							ref = d
+							continue
+						}
+						if !d.Equal(ref) {
+							t.Errorf("mode %v digest %s diverged from %v digest %s",
+								mode, d.Run, engineModes[0], ref.Run)
+							for v := range d.Vertex {
+								if d.Vertex[v] != ref.Vertex[v] {
+									t.Errorf("  first diverging vertex: %d", v)
+									break
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command coord is the distributed runner's coordinator. It generates
+// a graph from a named family (the same generators cmd/spanner uses),
+// waits for -workers cmd/node processes to connect over TCP, partitions
+// the vertices contiguously across them, drives the round/quiescence
+// protocol, and merges the workers' statistics, outputs, and logical
+// transcript. The merged transcript is bit-identical to an in-process
+// run of the same (algorithm, graph, seed) on the step engine — pass
+// -verify to prove it in-process, or -trace to write the JSONL
+// transcript for cmd/trace -check and digest comparison.
+//
+//	coord -listen 127.0.0.1:9131 -workers 2 -family gnp -n 32 -p 0.2 \
+//	      -algo twospanner -seed 1 -trace dist.jsonl -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"distspanner/internal/dist"
+	"distspanner/internal/dist/wire"
+	"distspanner/internal/distrun"
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+	"distspanner/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coord: ")
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9131", "address to accept workers on")
+		workers = flag.Int("workers", 2, "number of worker processes to wait for")
+		timeout = flag.Duration("timeout", 30*time.Second, "how long to wait for workers to connect")
+
+		family = flag.String("family", "gnp", "graph family: gnp, clique, grid, cycle, path, star")
+		n      = flag.Int("n", 32, "vertex count (side length for grid)")
+		p      = flag.Float64("p", 0.2, "edge probability for gnp")
+		algo   = flag.String("algo", "twospanner", "algorithm family: "+strings.Join(distrun.Names(), ", "))
+		seed   = flag.Int64("seed", 1, "random seed (drives the engine and any derived inputs)")
+
+		traceOut = flag.String("trace", "", "write the merged logical transcript as JSONL to this file")
+		verify   = flag.Bool("verify", false, "re-run in-process and fail unless the distributed transcript matches bit-for-bit")
+	)
+	flag.Parse()
+
+	f, ok := distrun.Get(*algo)
+	if !ok {
+		log.Fatalf("unknown algorithm family %q (have: %s)", *algo, strings.Join(distrun.Names(), ", "))
+	}
+	g := buildGraph(*family, *n, *p, *seed)
+	fmt.Printf("graph: family=%s n=%d m=%d; algo=%s seed=%d workers=%d\n",
+		*family, g.N(), g.M(), *algo, *seed, *workers)
+
+	ln, err := net.Listen("tcp", *listen)
+	fail(err)
+	fmt.Printf("listening on %s\n", ln.Addr())
+	ct, err := wire.AcceptWorkers(ln, *workers, *timeout)
+	ln.Close()
+	fail(err)
+
+	rec := trace.NewRecorder(g.N())
+	cfg := f.CoordConfig(g, *seed)
+	cfg.Tracer = rec
+	res, err := dist.Coordinate(ct, cfg)
+	ct.Close()
+	fail(err)
+
+	d := rec.Digest()
+	fmt.Printf("distributed run: rounds=%d messages=%d totalBits=%d maxEdgeRoundBits=%d\n",
+		res.Stats.Rounds, res.Stats.Messages, res.Stats.TotalBits, res.Stats.MaxEdgeRoundBits)
+	fmt.Printf("trace: %d events over %d rounds (digest %s)\n",
+		rec.EventCount(), len(rec.Phases()), d.Run)
+
+	if *verify {
+		refRec := trace.NewRecorder(g.N())
+		refOuts, refStats, err := f.RunLocal(g, *seed, refRec)
+		fail(err)
+		refD := refRec.Digest()
+		switch {
+		case !refD.Equal(d):
+			log.Fatalf("verify: digest mismatch: in-process %s, distributed %s", refD.Run, d.Run)
+		case *refStats != res.Stats:
+			log.Fatalf("verify: stats mismatch:\n  in-process:  %+v\n  distributed: %+v", *refStats, res.Stats)
+		case !outputsEqual(refOuts, res.Outputs):
+			log.Fatal("verify: merged outputs differ from the in-process run")
+		}
+		fmt.Println("verify: distributed transcript matches the in-process step engine bit-for-bit")
+	}
+
+	if *traceOut != "" {
+		out, err := os.Create(*traceOut)
+		fail(err)
+		fail(trace.WriteJSONL(out, trace.Meta{
+			Seed:  *seed,
+			Label: fmt.Sprintf("%s %s n=%d workers=%d", *algo, *family, g.N(), *workers),
+			Mode:  "tcp",
+		}, rec))
+		fail(out.Close())
+		fmt.Printf("wrote transcript to %s\n", *traceOut)
+	}
+}
+
+func buildGraph(family string, n int, p float64, seed int64) *graph.Graph {
+	switch family {
+	case "gnp":
+		return gen.ConnectedGNP(n, p, seed)
+	case "clique":
+		return gen.Clique(n)
+	case "grid":
+		return gen.Grid(n, n)
+	case "cycle":
+		return gen.Cycle(n)
+	case "path":
+		return gen.Path(n)
+	case "star":
+		return gen.Star(n)
+	default:
+		log.Fatalf("unknown family %q", family)
+		return nil
+	}
+}
+
+func outputsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			return false
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync/atomic"
 
 	"distspanner/internal/dist"
 	"distspanner/internal/graph"
@@ -154,12 +153,7 @@ type pendingPayload struct {
 // payload: star/uncovered/spanner lists have at most Δ+2 words and vote
 // lists at most 2Δ words.
 func newCongestCtx(ctx *dist.Ctx, maxDegree int) *congestCtx {
-	maxWords := 2*maxDegree + 4
-	sub := (maxWords + chunkWords - 1) / chunkWords
-	if sub < 1 {
-		sub = 1
-	}
-	return &congestCtx{ctx: ctx, sub: sub, cbits: chunkBits(ctx.N()), out: make(map[int]pendingPayload)}
+	return &congestCtx{ctx: ctx, sub: congestSubrounds(maxDegree), cbits: chunkBits(ctx.N()), out: make(map[int]pendingPayload)}
 }
 
 // Subrounds reports the physical rounds per logical round: the measured
@@ -392,22 +386,9 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 	if g.Weighted() {
 		return nil, errors.New("core: the CONGEST variant is unweighted (densities ship as count rationals)")
 	}
-	all := func(int) bool { return true }
-	v := variant{
-		target:      all,
-		starEdge:    all,
-		directAdd:   all,
-		candidateOK: func(raw float64) bool { return raw >= 1 },
-		terminal:    func(maxRaw, _ float64) bool { return maxRaw <= 1 },
-	}
-	n := g.N()
-	maxDeg := g.MaxDegree()
-	bandwidth := chunkBits(n)
-	outs := make([][]int, n)
-	iters := make([]int, n)
-	var fallbacks atomic.Int64
-	tele := newTelemetry()
-	subrounds := 0
+	bandwidth := CongestBandwidth(g.N())
+	ru := newURun(g)
+	subrounds := congestSubrounds(g.MaxDegree())
 	stats, err := dist.RunMachines(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
@@ -418,41 +399,44 @@ func TwoSpannerCongest(g *graph.Graph, opts Options) (*CongestResult, error) {
 		OnRound:   opts.RoundHook,
 		Cancel:    opts.Cancel,
 		Tracer:    opts.Tracer,
-	}, func(ctx *dist.Ctx) dist.Machine {
-		cc := newCongestCtx(ctx, maxDeg)
-		if ctx.ID() == 0 {
-			subrounds = cc.Subrounds()
-		}
-		nd := newUndirectedNode(cc, g, v, outs, iters, &fallbacks)
-		nd.opts = opts
-		nd.tele = tele
-		return newCongestMachine(cc, dist.NewPhasedMachine(nd))
-	})
+		Shards:    opts.Shards,
+	}, congestFactory(ru, opts))
 	if err != nil {
 		return nil, err
 	}
-	spanner := graph.NewEdgeSet(g.M())
-	for _, edges := range outs {
-		for _, e := range edges {
-			spanner.Add(e)
-		}
-	}
-	maxIter := 0
-	for _, it := range iters {
-		if it > maxIter {
-			maxIter = it
-		}
-	}
 	return &CongestResult{
-		Result: Result{
-			Spanner:      spanner,
-			Cost:         g.TotalWeight(spanner),
-			Stats:        *stats,
-			Iterations:   maxIter,
-			PerIteration: tele.stats(maxIter),
-			Fallbacks:    fallbacks.Load(),
-		},
+		Result:    *ru.result(stats),
 		Subrounds: subrounds,
 		Bandwidth: bandwidth,
 	}, nil
+}
+
+// CongestBandwidth is the per-edge per-round bit budget the CONGEST
+// variant enforces for an n-vertex run: 8 words of ceil(log2 n) bits.
+func CongestBandwidth(n int) int { return chunkBits(n) }
+
+// congestSubrounds is the Θ(Δ) subround count the adapter uses — a pure
+// function of the maximum degree, so the runner can report it without
+// reaching into a machine.
+func congestSubrounds(maxDegree int) int {
+	maxWords := 2*maxDegree + 4
+	sub := (maxWords + chunkWords - 1) / chunkWords
+	if sub < 1 {
+		sub = 1
+	}
+	return sub
+}
+
+// congestFactory wraps the undirected factory in the Section 1.3
+// fragmenting CONGEST adapter.
+func congestFactory(ru *uRun, opts Options) func(*dist.Ctx) dist.Machine {
+	maxDeg := ru.g.MaxDegree()
+	v := twoSpannerVariant(false)
+	return func(ctx *dist.Ctx) dist.Machine {
+		cc := newCongestCtx(ctx, maxDeg)
+		nd := newUndirectedNode(cc, ru.g, v, ru.outs, ru.iters, &ru.fallbacks)
+		nd.opts = opts
+		nd.tele = ru.tele
+		return newCongestMachine(cc, dist.NewPhasedMachine(nd))
+	}
 }

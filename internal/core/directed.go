@@ -97,43 +97,45 @@ func (m dirTermMsg) rec() dist.Rec { return dist.Rec{Tag: tagDirTerm, Ints: m.pa
 // graph.
 func DirectedTwoSpanner(d *graph.Digraph, opts Options) (*Result, error) {
 	under, _ := d.Underlying()
-	n := d.N()
-	outs := make([][]int, n)
-	iters := make([]int, n)
-	var fallbacks atomic.Int64
-	tele := newTelemetry()
+	dr := newDirRun(d)
 	stats, err := dist.RunMachines(dist.Config{
 		Graph: under, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
 		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
-		Tracer: opts.Tracer,
-	}, func(ctx *dist.Ctx) dist.Machine {
-		nd := newDirectedNode(ctx, d, outs, iters, &fallbacks)
-		nd.tele = tele
-		return dist.NewPhasedMachine(nd)
-	})
+		Tracer: opts.Tracer, Shards: opts.Shards,
+	}, dr.factory())
 	if err != nil {
 		return nil, err
 	}
-	spanner := graph.NewEdgeSet(d.M())
-	for _, edges := range outs {
-		for _, e := range edges {
-			spanner.Add(e)
-		}
+	return dr.result(stats), nil
+}
+
+// dirRun is the directed analogue of uRun: the cross-vertex collectors
+// the directed machine factory closes over.
+type dirRun struct {
+	d         *graph.Digraph
+	outs      [][]int
+	iters     []int
+	fallbacks atomic.Int64
+	tele      *telemetry
+}
+
+func newDirRun(d *graph.Digraph) *dirRun {
+	n := d.N()
+	return &dirRun{d: d, outs: make([][]int, n), iters: make([]int, n), tele: newTelemetry()}
+}
+
+func (r *dirRun) factory() func(*dist.Ctx) dist.Machine {
+	return func(ctx *dist.Ctx) dist.Machine {
+		nd := newDirectedNode(ctx, r.d, r.outs, r.iters, &r.fallbacks)
+		nd.tele = r.tele
+		return dist.NewPhasedMachine(nd)
 	}
-	maxIter := 0
-	for _, it := range iters {
-		if it > maxIter {
-			maxIter = it
-		}
-	}
-	return &Result{
-		Spanner:      spanner,
-		Cost:         d.TotalWeight(spanner),
-		Stats:        *stats,
-		Iterations:   maxIter,
-		PerIteration: tele.stats(maxIter),
-		Fallbacks:    fallbacks.Load(),
-	}, nil
+}
+
+func (r *dirRun) output(v int) []int { return r.outs[v] }
+
+func (r *dirRun) result(stats *dist.Stats) *Result {
+	return assembleResult(r.outs, r.iters, r.d.M(), r.d.TotalWeight, r.tele, r.fallbacks.Load(), stats)
 }
 
 // classifyDirected maps a wake inbox to its phase by record tag.

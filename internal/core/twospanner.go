@@ -35,6 +35,11 @@ type Options struct {
 	// deterministic logical transcript and the wall-clock timing channel
 	// (see dist.Config.Tracer). Zero cost when nil.
 	Tracer dist.Tracer
+	// Shards, when positive, runs the protocol distributed across that
+	// many shard workers over an in-process transport (see
+	// dist.Config.Shards). Results are bit-identical to Shards == 0 with
+	// the step engine; ExecMode must be ModeAuto or ModeStep.
+	Shards int
 
 	// VoteDenominator is an ablation knob for the acceptance rule: a
 	// candidate star is accepted when votes >= |C_v| / VoteDenominator.
@@ -159,6 +164,12 @@ type variant struct {
 // weighted variant (Section 4.3.2) runs, including its zero-weight edge
 // pre-pass; otherwise the unweighted algorithm of Theorem 1.3 runs.
 func TwoSpanner(g *graph.Graph, opts Options) (*Result, error) {
+	return runUndirected(g, twoSpannerVariant(g.Weighted()), opts)
+}
+
+// twoSpannerVariant is the plain (Theorem 1.3) or weighted (Theorem
+// 4.12) flavor of the undirected protocol.
+func twoSpannerVariant(weighted bool) variant {
 	all := func(int) bool { return true }
 	v := variant{
 		target:      all,
@@ -167,7 +178,7 @@ func TwoSpanner(g *graph.Graph, opts Options) (*Result, error) {
 		candidateOK: func(raw float64) bool { return raw >= 1 },
 		terminal:    func(maxRaw, _ float64) bool { return maxRaw <= 1 },
 	}
-	if g.Weighted() {
+	if weighted {
 		v.candidateOK = func(raw float64) bool { return raw > 0 }
 		v.terminal = func(maxRaw, maxWeight float64) bool {
 			if maxWeight <= 0 {
@@ -176,7 +187,7 @@ func TwoSpanner(g *graph.Graph, opts Options) (*Result, error) {
 			return maxRaw <= 1/maxWeight
 		}
 	}
-	return runUndirected(g, v, opts)
+	return v
 }
 
 // ClientServerTwoSpanner runs the client-server variant (Section 4.3.3):
@@ -184,45 +195,73 @@ func TwoSpanner(g *graph.Graph, opts Options) (*Result, error) {
 // possible server cover are left uncovered, matching the paper's
 // convention; use span.CoverableClients to identify them.
 func ClientServerTwoSpanner(g *graph.Graph, clients, servers *graph.EdgeSet, opts Options) (*Result, error) {
+	v, err := clientServerVariant(g, clients, servers)
+	if err != nil {
+		return nil, err
+	}
+	return runUndirected(g, v, opts)
+}
+
+// clientServerVariant validates the edge sets and builds the Section
+// 4.3.3 flavor of the undirected protocol.
+func clientServerVariant(g *graph.Graph, clients, servers *graph.EdgeSet) (variant, error) {
 	if clients == nil || servers == nil {
-		return nil, errors.New("core: client-server variant requires client and server edge sets")
+		return variant{}, errors.New("core: client-server variant requires client and server edge sets")
 	}
 	if clients.Universe() != g.M() || servers.Universe() != g.M() {
-		return nil, fmt.Errorf("core: edge set universes must equal M()=%d", g.M())
+		return variant{}, fmt.Errorf("core: edge set universes must equal M()=%d", g.M())
 	}
 	if g.Weighted() {
-		return nil, errors.New("core: client-server variant is unweighted in the paper")
+		return variant{}, errors.New("core: client-server variant is unweighted in the paper")
 	}
-	v := variant{
+	return variant{
 		target:      clients.Has,
 		starEdge:    servers.Has,
 		directAdd:   func(i int) bool { return clients.Has(i) && servers.Has(i) },
 		candidateOK: func(raw float64) bool { return raw >= 0.5 },
 		terminal:    func(maxRaw, _ float64) bool { return maxRaw < 0.5 },
-	}
-	return runUndirected(g, v, opts)
+	}, nil
 }
 
-func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
+// uRun owns the cross-vertex collectors of one undirected-protocol run:
+// the per-vertex outputs, iteration counts, Claim 4.4 fallback counter,
+// and iteration telemetry the machine factory closes over. It is the
+// state behind both the local runners and the exported shard programs
+// (the distributed runner reads outputs through uRun.output).
+type uRun struct {
+	g         *graph.Graph
+	outs      [][]int // per-vertex incident spanner edge indices
+	iters     []int   // per-vertex iteration counts
+	fallbacks atomic.Int64
+	tele      *telemetry
+}
+
+func newURun(g *graph.Graph) *uRun {
 	n := g.N()
-	outs := make([][]int, n)   // per-vertex incident spanner edge indices
-	iters := make([]int, n)    // per-vertex iteration counts
-	var fallbacks atomic.Int64 // Claim 4.4 fallback counter
-	tele := newTelemetry()
-	stats, err := dist.RunMachines(dist.Config{
-		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
-		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
-		Tracer: opts.Tracer,
-	}, func(ctx *dist.Ctx) dist.Machine {
-		nd := newUndirectedNode(ctx, g, v, outs, iters, &fallbacks)
+	return &uRun{g: g, outs: make([][]int, n), iters: make([]int, n), tele: newTelemetry()}
+}
+
+// factory builds the per-vertex machines of the undirected protocol.
+func (r *uRun) factory(v variant, opts Options) func(*dist.Ctx) dist.Machine {
+	return func(ctx *dist.Ctx) dist.Machine {
+		nd := newUndirectedNode(ctx, r.g, v, r.outs, r.iters, &r.fallbacks)
 		nd.opts = opts
-		nd.tele = tele
+		nd.tele = r.tele
 		return dist.NewPhasedMachine(nd)
-	})
-	if err != nil {
-		return nil, err
 	}
-	spanner := graph.NewEdgeSet(g.M())
+}
+
+func (r *uRun) output(v int) []int { return r.outs[v] }
+
+func (r *uRun) result(stats *dist.Stats) *Result {
+	return assembleResult(r.outs, r.iters, r.g.M(), r.g.TotalWeight, r.tele, r.fallbacks.Load(), stats)
+}
+
+// assembleResult folds the per-vertex collectors into a Result — shared
+// by the undirected, CONGEST, and directed runners.
+func assembleResult(outs [][]int, iters []int, m int, total func(*graph.EdgeSet) float64,
+	tele *telemetry, fallbacks int64, stats *dist.Stats) *Result {
+	spanner := graph.NewEdgeSet(m)
 	for _, edges := range outs {
 		for _, e := range edges {
 			spanner.Add(e)
@@ -236,12 +275,25 @@ func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
 	}
 	return &Result{
 		Spanner:      spanner,
-		Cost:         g.TotalWeight(spanner),
+		Cost:         total(spanner),
 		Stats:        *stats,
 		Iterations:   maxIter,
 		PerIteration: tele.stats(maxIter),
-		Fallbacks:    fallbacks.Load(),
-	}, nil
+		Fallbacks:    fallbacks,
+	}
+}
+
+func runUndirected(g *graph.Graph, v variant, opts Options) (*Result, error) {
+	ru := newURun(g)
+	stats, err := dist.RunMachines(dist.Config{
+		Graph: g, Seed: opts.Seed, MaxRounds: opts.MaxRounds,
+		Mode: opts.ExecMode, OnRound: opts.RoundHook, Cancel: opts.Cancel,
+		Tracer: opts.Tracer, Shards: opts.Shards,
+	}, ru.factory(v, opts))
+	if err != nil {
+		return nil, err
+	}
+	return ru.result(stats), nil
 }
 
 // roundCtx is the per-vertex network surface the protocol needs: vertex

@@ -130,6 +130,16 @@ type Config struct {
 	// (Alice = false, Bob = true); the engine then meters the bits
 	// crossing the cut in Stats.CutBits. Length must equal Graph.N().
 	CutSide []bool
+	// Shards, when positive, runs RunMachines distributed: the graph is
+	// partitioned into that many contiguous vertex ranges, each stepped
+	// by its own worker over the in-process channel transport, with the
+	// round/quiescence protocol run by a coordinator (see transport.go,
+	// coord.go). Results, Stats, and trace digests are bit-identical to
+	// the single-engine ModeStep run — the transport conformance suite
+	// asserts exactly that. Requires ModeAuto or ModeStep; only the
+	// record path (SendRec) may cross shards. Zero means off; the wire
+	// transports (internal/dist/wire) use Coordinate/ServeShard directly.
+	Shards int
 	// Workers caps how many vertex steps execute concurrently. Zero picks
 	// automatically: unlimited (goroutine-per-vertex) below
 	// PoolThreshold vertices, a small multiple of GOMAXPROCS above it.
@@ -319,6 +329,9 @@ func (e *engine) result() (*Stats, error) {
 // with cfg.Enforce set, when any directed edge carries more than
 // cfg.Bandwidth bits in one round.
 func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
+	if cfg.Shards > 0 {
+		return nil, errors.New("dist: Config.Shards executes state machines: use RunMachines")
+	}
 	e, err := newEngine(cfg, false)
 	if err != nil {
 		return nil, err
@@ -352,6 +365,9 @@ func Run(cfg Config, proc func(*Ctx)) (*Stats, error) {
 // vertex goroutines otherwise, so it must be safe for concurrent use
 // (per-vertex writes to distinct slice indices are fine).
 func RunMachines(cfg Config, factory func(*Ctx) Machine) (*Stats, error) {
+	if cfg.Shards > 0 {
+		return runSharded(cfg, factory)
+	}
 	e, err := newEngine(cfg, true)
 	if err != nil {
 		return nil, err

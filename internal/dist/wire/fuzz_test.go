@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzFrameDecode asserts the decoder's safety contract on arbitrary
+// input: never panic, never accept non-canonical bytes. Any payload the
+// decoder accepts must re-encode to exactly the same bytes (decode is
+// the inverse of the canonical encoding, on its image).
+//
+// Seeds: every sample frame's encoding plus a few corrupted variants;
+// the committed corpus under testdata/fuzz mirrors them (regenerate
+// with WIRE_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/dist/wire).
+func FuzzFrameDecode(f *testing.F) {
+	for _, p := range corpusSeeds() {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, p []byte) {
+		fr, err := DecodeFrame(p)
+		if err != nil {
+			return
+		}
+		p2, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(p, p2) {
+			t.Fatalf("decode accepted non-canonical bytes:\nin:  %x\nout: %x", p, p2)
+		}
+	})
+}
+
+func corpusSeeds() [][]byte {
+	var seeds [][]byte
+	for _, fr := range sampleFrames() {
+		p, err := EncodeFrame(fr)
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, p)
+		// A truncated and a bit-flipped variant of each.
+		if len(p) > 3 {
+			seeds = append(seeds, p[:len(p)*2/3])
+			q := append([]byte(nil), p...)
+			q[len(q)/2] ^= 0x40
+			seeds = append(seeds, q)
+		}
+	}
+	seeds = append(seeds, []byte{}, []byte{frameVersion}, []byte{frameVersion, 0xFF})
+	return seeds
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus. Gated so
+// normal test runs never touch the tree.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WIRE_WRITE_CORPUS") == "" {
+		t.Skip("set WIRE_WRITE_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range corpusSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(p)) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -76,6 +76,11 @@ type Options struct {
 	// Tracer, when non-nil, receives the run's execution narration (see
 	// dist.Config.Tracer). Zero cost when nil.
 	Tracer dist.Tracer
+	// Shards, when positive, runs the algorithm distributed across that
+	// many shard workers over an in-process transport (see
+	// dist.Config.Shards). Results are bit-identical to Shards == 0 with
+	// the step engine; ExecMode must be ModeAuto or ModeStep.
+	Shards int
 }
 
 // Result reports the outcome.
@@ -171,13 +176,11 @@ func (joinMsg) rec() dist.Rec { return dist.Rec{Tag: tagJoin} }
 
 // Run executes the MDS algorithm on the connected graph g.
 func Run(g *graph.Graph, opts Options) (*Result, error) {
-	n := g.N()
 	bandwidth := opts.Bandwidth
 	if bandwidth <= 0 {
-		bandwidth = 8 * dist.IDBits(n)
+		bandwidth = DefaultBandwidth(g.N())
 	}
-	inDS := make([]bool, n)
-	iters := make([]int, n)
+	mr := newMDSRun(g.N())
 	stats, err := dist.RunMachines(dist.Config{
 		Graph:     g,
 		Seed:      opts.Seed,
@@ -188,28 +191,68 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		OnRound:   opts.RoundHook,
 		Cancel:    opts.Cancel,
 		Tracer:    opts.Tracer,
-	}, func(ctx *dist.Ctx) dist.Machine {
-		v := newNode(ctx)
-		v.inDS, v.iters = inDS, iters
-		return dist.NewPhasedMachine(v)
-	})
+		Shards:    opts.Shards,
+	}, mr.factory)
 	if err != nil {
 		return nil, err
 	}
+	return mr.result(stats), nil
+}
+
+// DefaultBandwidth is the per-edge per-round bit budget Run enforces
+// when Options.Bandwidth is zero: 8 words of ceil(log2 n) bits.
+func DefaultBandwidth(n int) int { return 8 * dist.IDBits(n) }
+
+// mdsRun owns the cross-vertex collectors the machine factory closes
+// over: domination membership and per-vertex iteration counts.
+type mdsRun struct {
+	inDS  []bool
+	iters []int
+}
+
+func newMDSRun(n int) *mdsRun {
+	return &mdsRun{inDS: make([]bool, n), iters: make([]int, n)}
+}
+
+func (r *mdsRun) factory(ctx *dist.Ctx) dist.Machine {
+	v := newNode(ctx)
+	v.inDS, v.iters = r.inDS, r.iters
+	return dist.NewPhasedMachine(v)
+}
+
+func (r *mdsRun) result(stats *dist.Stats) *Result {
 	var ds []int
-	for v, in := range inDS {
+	for v, in := range r.inDS {
 		if in {
 			ds = append(ds, v)
 		}
 	}
 	sort.Ints(ds)
 	maxIter := 0
-	for _, it := range iters {
+	for _, it := range r.iters {
 		if it > maxIter {
 			maxIter = it
 		}
 	}
-	return &Result{DominatingSet: ds, Stats: *stats, Iterations: maxIter}, nil
+	return &Result{DominatingSet: ds, Stats: *stats, Iterations: maxIter}
+}
+
+// Program is the shard program of Run for the distributed runner
+// (dist.ServeShard). Output(v) is [1] when v joined the dominating set,
+// nil otherwise. The engine running it must enforce
+// DefaultBandwidth(g.N()) (or the same custom budget on every worker)
+// to reproduce the local runner bit-for-bit.
+func Program(g *graph.Graph, opts Options) dist.ShardProgram {
+	mr := newMDSRun(g.N())
+	return dist.ShardProgram{
+		Factory: mr.factory,
+		Output: func(v int) []int {
+			if mr.inDS[v] {
+				return []int{1}
+			}
+			return nil
+		},
+	}
 }
 
 // roundUpPow2Int returns the smallest power of two strictly greater than x

@@ -106,8 +106,11 @@ func (p Params) Key() string {
 // sweep axis a pure wall-clock comparison over identical instances.
 // "timing" (record the wall-clock timing channel and surface it as
 // metrics) is likewise pure observation: it must not change which
-// instance a cell runs.
-var execOnlyParams = map[string]bool{"engine": true, "timing": true}
+// instance a cell runs. "transport" (local in-process engine vs the
+// sharded runner over an in-process channel cluster) is the delivery
+// layer: results are transport-independent by the conformance
+// contract, so it too is excluded.
+var execOnlyParams = map[string]bool{"engine": true, "timing": true, "transport": true}
 
 // InstanceKey is Key with execution-only parameters (the dist engine
 // selection) removed: the identity of the probabilistic instance, used by

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"distspanner/internal/baseline"
 	"distspanner/internal/core"
@@ -97,6 +99,28 @@ func execMode(p Params) dist.Mode {
 	return m
 }
 
+// transportShards parses the shared execution-only "transport"
+// parameter: "local" (the default) runs the dist engine in-process;
+// "chanK" (e.g. "chan4") runs the protocol distributed across K shard
+// workers over the in-process channel transport (dist.Config.Shards).
+// Like "engine", the parameter selects how a run executes, not what
+// instance it runs on: results are transport-independent by the
+// transport conformance contract, and the parameter is excluded from
+// InstanceKey. The sharded runner is built on the step engine, so a
+// non-local transport composes with engine=auto or engine=step only.
+func transportShards(p Params) int {
+	t := p.Str("transport", "local")
+	if t == "local" {
+		return 0
+	}
+	if rest, ok := strings.CutPrefix(t, "chan"); ok {
+		if k, err := strconv.Atoi(rest); err == nil && k > 0 {
+			return k
+		}
+	}
+	panic(fmt.Sprintf("scenario: unknown transport %q (want local or chanK)", t))
+}
+
 // coreOptions builds the shared core options plus the run's timing
 // recorder (nil unless the execution-only "timing" parameter is set —
 // see timingTracer). The recorder, when present, is already installed
@@ -109,6 +133,7 @@ func coreOptions(p Params, seed int64, cancel <-chan struct{}) (core.Options, *t
 		VoteDenominator: p.Int("votden", 0),
 		FreshStars:      p.Bool("fresh", false),
 		NoRounding:      p.Bool("noround", false),
+		Shards:          transportShards(p),
 		Cancel:          cancel,
 	}
 	tim := timingTracer(p)
@@ -369,7 +394,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			mopts := mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Cancel: cancel}
+			mopts := mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Shards: transportShards(p), Cancel: cancel}
 			tim := timingTracer(p)
 			if tim != nil {
 				mopts.Tracer = tim

@@ -30,17 +30,18 @@ import (
 	"sort"
 )
 
-// metric is the custom metric the repo's yardsticks all report; ns/op is
-// dominated by per-run setup at -benchtime 1x, rounds/sec is the number
-// the perf trajectory tracks.
-const metric = "rounds/sec"
+// metric is the custom metric the yardsticks report; ns/op is dominated
+// by per-run setup at -benchtime 1x, so the gate tracks a rate metric
+// instead: rounds/sec for the engine suites, req/sec for the service
+// suite (-metric selects it).
+var metric = "rounds/sec"
 
 // benchLine matches one benchmark result line. The trailing -N
 // (GOMAXPROCS suffix) is stripped from the name so baselines are
 // comparable across runner core counts.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
-var metricField = regexp.MustCompile(`(\d+(?:\.\d+)?(?:e[+-]?\d+)?) ` + regexp.QuoteMeta(metric))
+var metricField *regexp.Regexp
 
 func parseBench(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
@@ -79,11 +80,13 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed BENCH_*.json baseline to compare against (required)")
 	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of gating")
 	maxRegress := flag.Float64("maxregress", 0.10, "max allowed regression below the suite median ratio")
+	flag.StringVar(&metric, "metric", metric, "custom benchmark metric the gate compares")
 	flag.Parse()
 	if *baselinePath == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH_x.json [-update] [-maxregress 0.10] bench-output.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH_x.json [-update] [-maxregress 0.10] [-metric rounds/sec] bench-output.txt")
 		os.Exit(2)
 	}
+	metricField = regexp.MustCompile(`(\d+(?:\.\d+)?(?:e[+-]?\d+)?) ` + regexp.QuoteMeta(metric))
 
 	current, err := parseBench(flag.Arg(0))
 	if err != nil {

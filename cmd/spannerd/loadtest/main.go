@@ -1,0 +1,320 @@
+// Command loadtest drives a mixed workload against a running spannerd
+// and reports throughput, latency, and cache behavior. The mix models
+// the three traffic shapes the service is built for:
+//
+//   - hot repeats: a small set of jobs requested over and over — these
+//     should be absorbed by the content-addressed cache;
+//   - cold uniques: every request a fresh (params, seed) cell — these
+//     always execute and bound the pool's throughput;
+//   - identical bursts: barrier-synchronized groups firing the same
+//     brand-new job at the same instant — these should coalesce into a
+//     single execution. Bursts use their own (heavier) instance via
+//     -burst-params: the job must run long enough that followers join
+//     the in-flight execution instead of hitting the cache after it
+//     finishes, so a sub-millisecond mixed-phase cell would make the
+//     coalescing assertion timing-dependent.
+//
+// The JSON report (written to -out or stdout) carries client-side
+// counts and latency percentiles plus the server's own /v1/stats
+// snapshot. -require-hits / -require-coalesced turn the cache
+// expectations into exit-code assertions for CI.
+//
+//	loadtest -addr http://localhost:8080 -requests 200 -concurrency 16 \
+//	    -bursts 4 -burst-size 8 -require-hits -require-coalesced
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type jobRequest struct {
+	Scenario string            `json:"scenario"`
+	Params   map[string]string `json:"params,omitempty"`
+	Seed     int64             `json:"seed"`
+}
+
+// sample is one completed request as the client saw it.
+type sample struct {
+	latency time.Duration
+	cache   string // X-Spannerd-Cache: hit | miss | coalesced
+	failed  bool
+}
+
+// collector accumulates samples across workers.
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (c *collector) add(s sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// report is the JSON document loadtest emits.
+type report struct {
+	Config struct {
+		Addr        string  `json:"addr"`
+		Scenario    string  `json:"scenario"`
+		Params      string  `json:"params"`
+		Requests    int     `json:"requests"`
+		Concurrency int     `json:"concurrency"`
+		HotSet      int     `json:"hot_set"`
+		HotFraction float64 `json:"hot_fraction"`
+		Bursts      int     `json:"bursts"`
+		BurstSize   int     `json:"burst_size"`
+		BurstParams string  `json:"burst_params"`
+	} `json:"config"`
+	Requests   int     `json:"requests"`
+	Failures   int     `json:"failures"`
+	Hits       int     `json:"hits"`
+	Misses     int     `json:"misses"`
+	Coalesced  int     `json:"coalesced"`
+	HitRate    float64 `json:"hit_rate"`
+	DurationMs int64   `json:"duration_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	LatencyMs  struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "spannerd base URL")
+	scenarioName := flag.String("scenario", "twospanner", "scenario to request")
+	paramsFlag := flag.String("params", "family=gnp,n=48,p=0.15", "comma-separated k=v parameter overrides")
+	requests := flag.Int("requests", 200, "mixed-phase request count")
+	concurrency := flag.Int("concurrency", 16, "concurrent client workers")
+	hotSet := flag.Int("hot", 4, "distinct jobs in the hot set")
+	hotFrac := flag.Float64("hot-frac", 0.6, "fraction of mixed-phase requests drawn from the hot set")
+	bursts := flag.Int("bursts", 4, "barrier-synchronized identical bursts")
+	burstSize := flag.Int("burst-size", 8, "clients per burst")
+	burstParamsFlag := flag.String("burst-params", "family=gnp,n=192,p=0.1",
+		"parameter overrides for the burst phase (a deliberately slower instance, so followers reliably join the in-flight run)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	requireHits := flag.Bool("require-hits", false, "exit nonzero unless at least one cache hit was observed")
+	requireCoalesced := flag.Bool("require-coalesced", false, "exit nonzero unless at least one request coalesced")
+	flag.Parse()
+
+	params := parseParams(*paramsFlag)
+	burstParams := params
+	if *burstParamsFlag != "" {
+		burstParams = parseParams(*burstParamsFlag)
+	}
+
+	// Keep-alive pool sized so every worker holds a warm connection:
+	// burst clients must not stagger behind TCP setup, or a fast burst
+	// job can finish before the followers' requests even arrive.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = *concurrency + *burstSize
+	transport.MaxIdleConnsPerHost = *concurrency + *burstSize
+	client := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+	col := &collector{}
+	start := time.Now()
+
+	// Mixed phase: hot repeats interleaved with cold uniques. Hot jobs
+	// reuse seeds [0, hotSet); cold jobs take seeds from 1<<32 upward so
+	// they never collide with the hot set or the burst phase.
+	var coldSeed int64 = 1 << 32
+	var seedMu sync.Mutex
+	nextCold := func() int64 {
+		seedMu.Lock()
+		defer seedMu.Unlock()
+		coldSeed++
+		return coldSeed
+	}
+	work := make(chan int64, *requests)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < *requests; i++ {
+		if rng.Float64() < *hotFrac {
+			work <- int64(rng.Intn(*hotSet))
+		} else {
+			work <- nextCold()
+		}
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range work {
+				col.add(post(client, *addr, jobRequest{Scenario: *scenarioName, Params: params, Seed: seed}))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Burst phase: each burst is burstSize clients releasing the same
+	// never-seen job at the same instant; the coalescer should collapse
+	// every burst to one execution. Warm one keep-alive connection per
+	// burst client first so the barrier release isn't serialized behind
+	// TCP handshakes.
+	if *bursts > 0 && *burstSize > 0 {
+		var warm sync.WaitGroup
+		for i := 0; i < *burstSize; i++ {
+			warm.Add(1)
+			go func() {
+				defer warm.Done()
+				if resp, err := client.Get(*addr + "/healthz"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+		}
+		warm.Wait()
+	}
+	for b := 0; b < *bursts; b++ {
+		seed := int64(1<<40) + int64(b)
+		barrier := make(chan struct{})
+		var bwg sync.WaitGroup
+		for i := 0; i < *burstSize; i++ {
+			bwg.Add(1)
+			go func() {
+				defer bwg.Done()
+				<-barrier
+				col.add(post(client, *addr, jobRequest{Scenario: *scenarioName, Params: burstParams, Seed: seed}))
+			}()
+		}
+		close(barrier)
+		bwg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	var rep report
+	rep.Config.Addr = *addr
+	rep.Config.Scenario = *scenarioName
+	rep.Config.Params = *paramsFlag
+	rep.Config.Requests = *requests
+	rep.Config.Concurrency = *concurrency
+	rep.Config.HotSet = *hotSet
+	rep.Config.HotFraction = *hotFrac
+	rep.Config.Bursts = *bursts
+	rep.Config.BurstSize = *burstSize
+	rep.Config.BurstParams = *burstParamsFlag
+
+	latencies := make([]time.Duration, 0, len(col.samples))
+	for _, s := range col.samples {
+		rep.Requests++
+		switch {
+		case s.failed:
+			rep.Failures++
+		case s.cache == "hit":
+			rep.Hits++
+		case s.cache == "coalesced":
+			rep.Coalesced++
+		default:
+			rep.Misses++
+		}
+		latencies = append(latencies, s.latency)
+	}
+	if rep.Requests > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(rep.Requests)
+	}
+	rep.DurationMs = elapsed.Milliseconds()
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.LatencyMs.P50 = percentileMs(latencies, 0.50)
+	rep.LatencyMs.P90 = percentileMs(latencies, 0.90)
+	rep.LatencyMs.P99 = percentileMs(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMs.Max = float64(latencies[n-1]) / float64(time.Millisecond)
+	}
+	if resp, err := client.Get(*addr + "/v1/stats"); err == nil {
+		if body, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
+			rep.ServerStats = body
+		}
+		resp.Body.Close()
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+		os.Exit(2)
+	}
+	doc = append(doc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(doc)
+	}
+
+	ok := true
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: %d requests failed\n", rep.Failures)
+		ok = false
+	}
+	if *requireHits && rep.Hits == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: expected cache hits, observed none")
+		ok = false
+	}
+	if *requireCoalesced && rep.Coalesced == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: expected coalesced requests, observed none")
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// parseParams splits a comma-separated k=v list into a parameter map.
+func parseParams(s string) map[string]string {
+	params := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			fmt.Fprintf(os.Stderr, "loadtest: bad params entry %q\n", kv)
+			os.Exit(2)
+		}
+		params[kv[:eq]] = kv[eq+1:]
+	}
+	return params
+}
+
+// post runs one job and classifies the outcome.
+func post(client *http.Client, addr string, job jobRequest) sample {
+	body, _ := json.Marshal(job)
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+	s := sample{latency: time.Since(start)}
+	if err != nil {
+		s.failed = true
+		return s
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.cache = resp.Header.Get("X-Spannerd-Cache")
+	s.failed = resp.StatusCode != http.StatusOK
+	return s
+}
+
+// percentileMs returns the q-quantile of sorted latencies, in ms.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

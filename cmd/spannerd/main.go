@@ -1,0 +1,69 @@
+// Command spannerd serves the spanner algorithms as a long-running
+// HTTP/JSON service: clients POST jobs (a registered scenario plus
+// parameter overrides and a seed, with the graph named or inline) and
+// get back verified metrics. Results are content-addressed — identical
+// jobs are answered from an LRU cache byte-for-byte, and concurrent
+// identical jobs coalesce into a single execution.
+//
+//	spannerd -listen :8080 -workers 8 -cache 4096 -timeout 60s
+//
+// Endpoints: POST /v1/run, POST /v1/stream (SSE progress), GET
+// /v1/scenarios, GET /v1/stats, GET /metrics, GET /healthz. See
+// internal/service for the job schema and cmd/spannerd/loadtest for a
+// mixed-workload driver.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distspanner/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve on")
+	workers := flag.Int("workers", 0, "max concurrent scenario runs (0: GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 0, "result cache capacity in entries (0: 4096)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0: none)")
+	maxVertices := flag.Int("max-vertices", 0, "inline graph vertex limit (0: default)")
+	maxEdges := flag.Int("max-edges", 0, "inline graph edge limit (0: default)")
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		Timeout:      *timeout,
+		MaxVertices:  *maxVertices,
+		MaxEdges:     *maxEdges,
+	})
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spannerd: listening on %s\n", *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "spannerd: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "spannerd: %v, draining\n", s)
+	}
+
+	// Stop admitting requests, then wait for in-flight runs to unwind.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "spannerd: shutdown: %v\n", err)
+	}
+	srv.Drain()
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"testing"
+
+	"distspanner/internal/gen"
+	"distspanner/internal/graph"
+)
+
+// TestInlineParamsRoundTrip checks the inline family reconstructs the
+// encoded graph exactly: same vertex count, same edge set, same weight
+// per edge (up to the canonical edge renumbering).
+func TestInlineParamsRoundTrip(t *testing.T) {
+	g := gen.ConnectedGNP(24, 0.2, 7)
+	gen.RandomWeights(g, 1, 8, 7)
+	p := InlineParams(g)
+	got, err := GraphSpec{}.Build(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for i := 0; i < g.M(); i++ {
+		e := g.Edge(i)
+		j, ok := got.EdgeIndex(e.U, e.V)
+		if !ok {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+		if got.Weight(j) != g.Weight(i) {
+			t.Fatalf("edge %v weight %g != %g", e, got.Weight(j), g.Weight(i))
+		}
+	}
+}
+
+// TestInlineParamsOrderInvariant checks the canonical encoding erases
+// submission order: the same edge set inserted in different orders
+// yields identical parameters, hence identical cell identity.
+func TestInlineParamsOrderInvariant(t *testing.T) {
+	a := graph.New(5)
+	a.AddEdge(0, 1)
+	a.AddEdge(3, 2)
+	a.AddEdge(1, 4)
+	a.AddEdge(0, 2)
+	b := graph.New(5)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	pa, pb := InlineParams(a), InlineParams(b)
+	if pa.Key() != pb.Key() {
+		t.Fatalf("submission order leaked into the encoding:\n%s\n%s", pa.Key(), pb.Key())
+	}
+	if pa.InstanceKey() != pb.InstanceKey() {
+		t.Fatalf("instance keys differ: %s vs %s", pa.InstanceKey(), pb.InstanceKey())
+	}
+}
+
+// TestInlineIsolatedVertices checks n survives when it exceeds the
+// largest endpoint (trailing isolated vertices are part of the
+// instance).
+func TestInlineIsolatedVertices(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	got, err := GraphSpec{}.Build(InlineParams(g), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 6 || got.M() != 1 {
+		t.Fatalf("got n=%d m=%d, want n=6 m=1", got.N(), got.M())
+	}
+}
+
+// TestInlineScenarioRun checks a registered scenario actually runs on an
+// inline instance — the seam the service layer submits through.
+func TestInlineScenarioRun(t *testing.T) {
+	sc, ok := Get("twospanner")
+	if !ok {
+		t.Fatal("twospanner not registered")
+	}
+	g := gen.ConnectedGNP(20, 0.25, 3)
+	p := sc.Defaults.Merge(InlineParams(g))
+	m, err := sc.Run(p, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["valid"] != 1 || m["n"] != 20 {
+		t.Fatalf("inline run metrics: valid=%v n=%v", m["valid"], m["n"])
+	}
+}

@@ -109,8 +109,26 @@ func (p Params) Key() string {
 // instance a cell runs. "transport" (local in-process engine vs the
 // sharded runner over an in-process channel cluster) is the delivery
 // layer: results are transport-independent by the conformance
-// contract, so it too is excluded.
-var execOnlyParams = map[string]bool{"engine": true, "timing": true, "transport": true}
+// contract, so it too is excluded. "obs" (a live run-observer token,
+// see RegisterObserver) only attaches a progress listener — the
+// service layer streams per-round activity through it without
+// perturbing the job's cache identity.
+var execOnlyParams = map[string]bool{"engine": true, "timing": true, "transport": true, "obs": true}
+
+// InstanceParams returns a copy of p without the execution-only
+// parameters: the parameter view that identifies the instance. It is
+// what the service layer fingerprints for cache keys and echoes in
+// result documents, so two requests differing only in execution knobs
+// read back the same document.
+func (p Params) InstanceParams() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		if !execOnlyParams[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
 
 // InstanceKey is Key with execution-only parameters (the dist engine
 // selection) removed: the identity of the probabilistic instance, used by

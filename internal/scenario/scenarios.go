@@ -135,6 +135,7 @@ func coreOptions(p Params, seed int64, cancel <-chan struct{}) (core.Options, *t
 		NoRounding:      p.Bool("noround", false),
 		Shards:          transportShards(p),
 		Cancel:          cancel,
+		RoundHook:       roundObserver(p),
 	}
 	tim := timingTracer(p)
 	if tim != nil {
@@ -394,7 +395,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			mopts := mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Shards: transportShards(p), Cancel: cancel}
+			mopts := mds.Options{Seed: seed, Bandwidth: p.Int("bandwidth", 0), ExecMode: execMode(p), Shards: transportShards(p), Cancel: cancel, RoundHook: roundObserver(p)}
 			tim := timingTracer(p)
 			if tim != nil {
 				mopts.Tracer = tim

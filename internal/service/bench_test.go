@@ -1,0 +1,107 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The service yardsticks report req/sec and are gated by benchgate
+// against BENCH_service.json (see .github/workflows/ci.yml):
+//
+//	go test -run '^$' -bench 'BenchmarkServe' ./internal/service | tee bench-service.txt
+//	go run ./cmd/benchgate -metric req/sec -baseline BENCH_service.json bench-service.txt
+//
+// ServeCacheHit is the hot path a loaded server lives on (hash + key
+// derivation + LRU lookup + response write); ServeCacheMiss includes a
+// real scenario execution and bounds the cold-path overhead.
+
+func benchServe(b *testing.B, srv *Server, payload []byte, wantCache string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(payload))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup: status %d: %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Spannerd-Cache"); got != wantCache {
+			b.Fatalf("cache header %q, want %q", got, wantCache)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv := New(Options{Workers: 2})
+	payload, _ := json.Marshal(JobRequest{
+		Scenario: "twospanner",
+		Params:   map[string]string{"family": "gnp", "n": "32", "p": "0.2"},
+		Seed:     7,
+	})
+	benchServe(b, srv, payload, "hit")
+}
+
+// BenchmarkServeCacheHitInline measures the hit path including inline
+// graph canonicalization and content hashing — the full key derivation
+// a caching proxy workload pays per request.
+func BenchmarkServeCacheHitInline(b *testing.B) {
+	srv := New(Options{Workers: 2})
+	edges := make([][2]int, 0, 128)
+	for i := 0; i < 128; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % 129})
+	}
+	payload, _ := json.Marshal(JobRequest{
+		Scenario: "twospanner",
+		Seed:     1,
+		Graph:    &InlineGraph{N: 129, Edges: edges},
+	})
+	benchServe(b, srv, payload, "hit")
+}
+
+func BenchmarkServeCacheMiss(b *testing.B) {
+	// A cache of 1 entry with an alternating pair of jobs: every request
+	// after the warmup misses, so each iteration pays key derivation +
+	// a real scenario execution + result encoding + cache insertion.
+	srv := New(Options{Workers: 2, CacheEntries: 1})
+	var payloads [2][]byte
+	for i := range payloads {
+		payloads[i], _ = json.Marshal(JobRequest{
+			Scenario: "twospanner",
+			Params:   map[string]string{"family": "gnp", "n": "24", "p": "0.2"},
+			Seed:     int64(i),
+		})
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(payloads[0]))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup: status %d: %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(payloads[1-i%2]))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Spannerd-Cache"); got != "miss" {
+			b.Fatalf("cache header %q, want miss", got)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: job key → the serialized
+// result document, exactly as served. Since every result is a pure
+// function of its key (the determinism contract, enforced end to end by
+// the conformance suites), entries never expire — they are only evicted
+// by the LRU bound — and a hit returns the byte-identical body of the
+// original miss. Only successful results enter; failed, canceled, and
+// timed-out runs leave nothing behind.
+type Cache struct {
+	mu        sync.Mutex
+	maxEntry  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bytes     int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns a cache bounded to maxEntries results (minimum 1).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		maxEntry: maxEntries,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+// The returned slice is the cache's own storage; callers must treat it
+// as read-only (handlers only ever write it to the response).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries over
+// the bound. Re-putting an existing key refreshes its recency but keeps
+// the original body: results are immutable per key, so the first write
+// wins and a racing duplicate (two misses resolving concurrently) is a
+// no-op.
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.ll.Len() > c.maxEntry {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

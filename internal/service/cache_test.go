@@ -1,0 +1,71 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(8)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	body, ok := c.Get("a")
+	if !ok || !bytes.Equal(body, []byte("alpha")) {
+		t.Fatalf("Get(a) = %q, %v", body, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("aa"))
+	c.Put("b", []byte("bb"))
+	// Touch a so b is the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("cc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheFirstWriteWins(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", []byte("original"))
+	c.Put("k", []byte("duplicate")) // racing duplicate resolution: no-op
+	body, ok := c.Get("k")
+	if !ok || string(body) != "original" {
+		t.Fatalf("Get(k) = %q, %v; want the first write", body, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("original")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0) // clamps to 1
+	c.Put("a", []byte("x"))
+	c.Put("b", []byte("y"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by b in a capacity-1 cache")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should be present")
+	}
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FlightGroup coalesces identical in-flight jobs: concurrent callers
+// with the same key share one execution and all receive its result.
+// Single-flight is sound here for the same reason caching is — a job's
+// result is a pure function of its key — and it is what keeps a burst
+// of identical requests from stampeding the worker pool.
+//
+// Cancellation is waiter-refcounted: every caller that abandons its
+// wait (client disconnect) decrements the flight's waiter count, and
+// the execution's cancel channel closes only when the last waiter is
+// gone — one impatient client must not kill a run that other clients
+// are still waiting on, while a fully abandoned run stops promptly and
+// caches nothing.
+type FlightGroup struct {
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced uint64 // callers that joined an existing flight
+	launched  uint64 // flights that ran fn
+}
+
+type flight struct {
+	done    chan struct{} // closed when fn's outcome is recorded
+	cancel  chan struct{} // closed when the last waiter abandons
+	waiters int
+	body    []byte
+	err     error
+}
+
+// ErrAbandoned is returned to a caller whose abort signal fired while
+// it was waiting on a flight.
+var ErrAbandoned = fmt.Errorf("service: request abandoned before completion")
+
+// Do returns fn's result for key, coalescing concurrent callers: the
+// first caller launches fn on its own goroutine (receiving the flight's
+// refcounted cancel channel), later callers with the same key wait on
+// the same outcome, and shared reports whether this caller joined an
+// existing flight. abort, when non-nil, abandons this caller's wait
+// when it fires: Do returns ErrAbandoned, and if no other caller
+// remains the flight's cancel channel closes so the execution can stop.
+// A finished flight is removed before its result is handed out, so a
+// request arriving after completion starts a fresh flight — the result
+// cache, not the flight group, is what serves repeats.
+func (g *FlightGroup) Do(key string, abort <-chan struct{}, fn func(cancel <-chan struct{}) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+		g.coalesced++
+	} else {
+		f = &flight{
+			done:    make(chan struct{}),
+			cancel:  make(chan struct{}),
+			waiters: 1,
+		}
+		g.flights[key] = f
+		g.launched++
+		go func() {
+			b, e := fn(f.cancel)
+			g.mu.Lock()
+			f.body, f.err = b, e
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.body, ok, f.err
+	case <-abort:
+		// The outcome may have landed in the same instant; prefer it.
+		select {
+		case <-f.done:
+			return f.body, ok, f.err
+		default:
+		}
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		if last && g.flights[key] == f {
+			// Unlink the dying flight now so a later identical request
+			// starts fresh instead of inheriting a canceled run.
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		if last {
+			close(f.cancel)
+		}
+		return nil, ok, ErrAbandoned
+	}
+}
+
+// FlightStats is a point-in-time counter snapshot.
+type FlightStats struct {
+	InFlight  int    `json:"in_flight"`
+	Launched  uint64 `json:"launched"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// Stats returns the current counters.
+func (g *FlightGroup) Stats() FlightStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return FlightStats{InFlight: len(g.flights), Launched: g.launched, Coalesced: g.coalesced}
+}

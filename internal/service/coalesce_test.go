@@ -1,0 +1,205 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFlightSingleCaller(t *testing.T) {
+	g := &FlightGroup{}
+	body, shared, err := g.Do("k", nil, func(cancel <-chan struct{}) ([]byte, error) {
+		return []byte("result"), nil
+	})
+	if err != nil || shared || string(body) != "result" {
+		t.Fatalf("Do = %q, shared=%v, err=%v", body, shared, err)
+	}
+	st := g.Stats()
+	if st.Launched != 1 || st.Coalesced != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlightCoalescesConcurrentCallers(t *testing.T) {
+	g := &FlightGroup{}
+	gate := make(chan struct{})
+	const followers = 4
+
+	type outcome struct {
+		body   []byte
+		shared bool
+		err    error
+	}
+	results := make(chan outcome, followers+1)
+	run := func() {
+		body, shared, err := g.Do("k", nil, func(cancel <-chan struct{}) ([]byte, error) {
+			<-gate
+			return []byte("shared-result"), nil
+		})
+		results <- outcome{body, shared, err}
+	}
+
+	go run()
+	waitFor(t, "leader flight", func() bool { return g.Stats().InFlight == 1 })
+	for i := 0; i < followers; i++ {
+		go run()
+	}
+	waitFor(t, "followers to join", func() bool { return g.Stats().Coalesced == followers })
+	close(gate)
+
+	sharedCount := 0
+	for i := 0; i < followers+1; i++ {
+		out := <-results
+		if out.err != nil || string(out.body) != "shared-result" {
+			t.Fatalf("caller %d: %q, err=%v", i, out.body, out.err)
+		}
+		if out.shared {
+			sharedCount++
+		}
+	}
+	st := g.Stats()
+	if st.Launched != 1 {
+		t.Fatalf("launched %d executions, want exactly 1", st.Launched)
+	}
+	if sharedCount != followers {
+		t.Fatalf("%d callers reported shared, want %d", sharedCount, followers)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("flight leaked: %+v", st)
+	}
+}
+
+func TestFlightErrorPropagatesToAllCallers(t *testing.T) {
+	g := &FlightGroup{}
+	gate := make(chan struct{})
+	wantErr := errors.New("run failed")
+	errs := make(chan error, 2)
+	run := func() {
+		_, _, err := g.Do("k", nil, func(cancel <-chan struct{}) ([]byte, error) {
+			<-gate
+			return nil, wantErr
+		})
+		errs <- err
+	}
+	go run()
+	waitFor(t, "leader flight", func() bool { return g.Stats().InFlight == 1 })
+	go run()
+	waitFor(t, "follower to join", func() bool { return g.Stats().Coalesced == 1 })
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != wantErr {
+			t.Fatalf("caller %d error = %v, want %v", i, err, wantErr)
+		}
+	}
+}
+
+func TestFlightLastWaiterAbortCancelsRun(t *testing.T) {
+	g := &FlightGroup{}
+	sawCancel := make(chan struct{})
+	abort := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do("k", abort, func(cancel <-chan struct{}) ([]byte, error) {
+			close(started)
+			<-cancel
+			close(sawCancel)
+			return nil, errors.New("canceled")
+		})
+		done <- err
+	}()
+	<-started
+	close(abort)
+	if err := <-done; err != ErrAbandoned {
+		t.Fatalf("Do = %v, want ErrAbandoned", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fn's cancel channel never fired after the last waiter left")
+	}
+	waitFor(t, "flight table to drain", func() bool { return g.Stats().InFlight == 0 })
+}
+
+func TestFlightAbortOfOneWaiterKeepsRunAlive(t *testing.T) {
+	g := &FlightGroup{}
+	gate := make(chan struct{})
+	canceled := false
+	var mu sync.Mutex
+
+	leaderDone := make(chan outcome3, 1)
+	go func() {
+		body, _, err := g.Do("k", nil, func(cancel <-chan struct{}) ([]byte, error) {
+			<-gate
+			mu.Lock()
+			select {
+			case <-cancel:
+				canceled = true
+			default:
+			}
+			mu.Unlock()
+			return []byte("survived"), nil
+		})
+		leaderDone <- outcome3{body: body, err: err}
+	}()
+	waitFor(t, "leader flight", func() bool { return g.Stats().InFlight == 1 })
+
+	abort := make(chan struct{})
+	followerDone := make(chan outcome3, 1)
+	go func() {
+		body, _, err := g.Do("k", abort, func(<-chan struct{}) ([]byte, error) {
+			t.Error("follower must not launch its own execution")
+			return nil, nil
+		})
+		followerDone <- outcome3{body: body, err: err}
+	}()
+	waitFor(t, "follower to join", func() bool { return g.Stats().Coalesced == 1 })
+
+	close(abort) // the follower leaves; the leader still waits
+	if out := <-followerDone; out.err != ErrAbandoned {
+		t.Fatalf("follower error = %v, want ErrAbandoned", out.err)
+	}
+	close(gate)
+	out := <-leaderDone
+	if out.err != nil || string(out.body) != "survived" {
+		t.Fatalf("leader = %q, err=%v", out.body, out.err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if canceled {
+		t.Fatal("one waiter's abort canceled a run another caller was waiting on")
+	}
+}
+
+type outcome3 struct {
+	body []byte
+	err  error
+}
+
+func TestFlightCompletedRunNotReused(t *testing.T) {
+	g := &FlightGroup{}
+	fn := func(cancel <-chan struct{}) ([]byte, error) { return []byte("x"), nil }
+	if _, shared, _ := g.Do("k", nil, fn); shared {
+		t.Fatal("first call reported shared")
+	}
+	if _, shared, _ := g.Do("k", nil, fn); shared {
+		t.Fatal("post-completion call joined a dead flight; repeats are the cache's job")
+	}
+	if st := g.Stats(); st.Launched != 2 {
+		t.Fatalf("launched = %d, want 2", st.Launched)
+	}
+}

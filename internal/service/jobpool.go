@@ -1,0 +1,95 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distspanner/internal/scenario"
+	"distspanner/internal/sweep"
+)
+
+// Pool is the bounded execution pool: at most workers scenario runs in
+// flight, the rest queued on the semaphore. Each run goes through
+// sweep.Single — the same executor the sweep grid runner uses — so the
+// service inherits its discipline wholesale: panic recovery, the
+// per-run timeout, and active cancellation that waits for the canceled
+// run to unwind before the slot is reused.
+type Pool struct {
+	sem     chan struct{}
+	timeout time.Duration
+
+	executions uint64 // runs started (the coalescing tests pin this)
+	failures   uint64 // runs that returned an error (incl. cancel/timeout)
+	active     int64  // runs currently executing
+	queued     int64  // runs currently waiting for a slot
+	runNanos   int64  // cumulative execution wall time
+
+	wg sync.WaitGroup // live runs, for clean shutdown
+}
+
+// NewPool returns a pool of the given width (minimum 1) applying
+// timeout to every run (0 = none).
+func NewPool(workers int, timeout time.Duration) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers), timeout: timeout}
+}
+
+// Run executes one (params, seed) cell of sc, queueing for a worker
+// slot first. cancel aborts the job at any point: while queued it
+// returns sweep.ErrCanceled without ever executing, while running it is
+// forwarded to the scenario (dist.Config.Cancel) and Run returns after
+// the run has unwound — no goroutine or half-written state survives an
+// abandoned job.
+func (p *Pool) Run(sc *scenario.Scenario, params scenario.Params, seed int64, cancel <-chan struct{}) (scenario.Metrics, error) {
+	atomic.AddInt64(&p.queued, 1)
+	select {
+	case p.sem <- struct{}{}:
+		atomic.AddInt64(&p.queued, -1)
+	case <-cancel:
+		atomic.AddInt64(&p.queued, -1)
+		return nil, sweep.ErrCanceled
+	}
+	atomic.AddInt64(&p.active, 1)
+	atomic.AddUint64(&p.executions, 1)
+	p.wg.Add(1)
+	start := time.Now()
+	m, err := sweep.Single(sc, params, seed, p.timeout, cancel)
+	atomic.AddInt64(&p.runNanos, int64(time.Since(start)))
+	if err != nil {
+		atomic.AddUint64(&p.failures, 1)
+	}
+	atomic.AddInt64(&p.active, -1)
+	p.wg.Done()
+	<-p.sem
+	return m, err
+}
+
+// Drain blocks until every in-flight run has returned — the graceful-
+// shutdown hook. New Run calls during a drain still execute; the caller
+// stops admitting requests first.
+func (p *Pool) Drain() { p.wg.Wait() }
+
+// PoolStats is a point-in-time counter snapshot.
+type PoolStats struct {
+	Workers    int    `json:"workers"`
+	Active     int64  `json:"active"`
+	Queued     int64  `json:"queued"`
+	Executions uint64 `json:"executions"`
+	Failures   uint64 `json:"failures"`
+	RunNanos   int64  `json:"run_nanos"`
+}
+
+// Stats returns the current counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    cap(p.sem),
+		Active:     atomic.LoadInt64(&p.active),
+		Queued:     atomic.LoadInt64(&p.queued),
+		Executions: atomic.LoadUint64(&p.executions),
+		Failures:   atomic.LoadUint64(&p.failures),
+		RunNanos:   atomic.LoadInt64(&p.runNanos),
+	}
+}

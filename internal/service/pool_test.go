@@ -1,0 +1,122 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"distspanner/internal/scenario"
+	"distspanner/internal/sweep"
+)
+
+func blockScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc, ok := scenario.Get("svc-test-block")
+	if !ok {
+		t.Fatal("svc-test-block scenario not registered")
+	}
+	return sc
+}
+
+func TestPoolRunsAndCounts(t *testing.T) {
+	p := NewPool(2, 0)
+	sc := blockScenario(t)
+	m, err := p.Run(sc, scenario.Params{}, 42, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m["seed"] != 42 || m["valid"] != 1 {
+		t.Fatalf("metrics = %v", m)
+	}
+	st := p.Stats()
+	if st.Executions != 1 || st.Failures != 0 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	p := NewPool(1, 0)
+	sc := blockScenario(t)
+	ctl := newBlockCtl("pool-queued")
+
+	// Occupy the single worker slot.
+	occupied := make(chan error, 1)
+	go func() {
+		_, err := p.Run(sc, scenario.Params{"ctl": "pool-queued"}, 1, nil)
+		occupied <- err
+	}()
+	<-ctl.started
+
+	// Queue a second run, then cancel it before a slot frees up.
+	cancel := make(chan struct{})
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := p.Run(sc, scenario.Params{}, 2, cancel)
+		queuedDone <- err
+	}()
+	waitFor(t, "second run to queue", func() bool { return p.Stats().Queued == 1 })
+	close(cancel)
+	if err := <-queuedDone; !errors.Is(err, sweep.ErrCanceled) {
+		t.Fatalf("queued run error = %v, want sweep.ErrCanceled", err)
+	}
+	// The canceled run never reached a worker: executions stays at 1.
+	if st := p.Stats(); st.Executions != 1 {
+		t.Fatalf("executions = %d, want 1 (queued run must not execute)", st.Executions)
+	}
+
+	close(ctl.release)
+	if err := <-occupied; err != nil {
+		t.Fatalf("occupying run: %v", err)
+	}
+}
+
+func TestPoolCancelWhileRunning(t *testing.T) {
+	p := NewPool(1, 0)
+	sc := blockScenario(t)
+	ctl := newBlockCtl("pool-running")
+
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(sc, scenario.Params{"ctl": "pool-running"}, 1, cancel)
+		done <- err
+	}()
+	<-ctl.started
+	close(cancel)
+
+	// The cancel must reach the scenario's cancel channel (the same
+	// plumbing that feeds dist.Config.Cancel on engine scenarios)...
+	select {
+	case <-ctl.canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scenario never observed the cancel")
+	}
+	// ...and Run must report the cancellation after the run unwound.
+	if err := <-done; !errors.Is(err, sweep.ErrCanceled) {
+		t.Fatalf("Run error = %v, want sweep.ErrCanceled", err)
+	}
+	st := p.Stats()
+	if st.Failures != 1 || st.Active != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.Drain() // must not hang: the worker goroutine is gone
+}
+
+func TestPoolTimeout(t *testing.T) {
+	p := NewPool(1, 20*time.Millisecond)
+	sc := blockScenario(t)
+	ctl := newBlockCtl("pool-timeout")
+	_, err := p.Run(sc, scenario.Params{"ctl": "pool-timeout"}, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("Run error = %v, want timeout", err)
+	}
+	select {
+	case <-ctl.canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed-out run was never actively canceled")
+	}
+	if st := p.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

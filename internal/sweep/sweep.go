@@ -234,48 +234,86 @@ func Execute(opts Options) (*Report, error) {
 }
 
 // executeRun performs one run in place, converting panics and timeouts
-// into recorded failures so a single bad cell cannot kill the sweep. A
-// timed-out run is actively canceled — the scenario's cancel channel is
-// closed and executeRun waits for the run goroutine to unwind — so no
-// writer is left behind mutating shared state after the sweep moves on.
+// into recorded failures so a single bad cell cannot kill the sweep.
 func executeRun(sc *scenario.Scenario, run *Run, timeout time.Duration) {
-	type outcome struct {
-		metrics scenario.Metrics
-		err     error
+	m, err := Single(sc, run.Params, run.Seed, timeout, nil)
+	run.Metrics = m
+	if err != nil {
+		run.Error = err.Error()
 	}
-	cancel := make(chan struct{})
-	done := make(chan outcome, 1)
+}
+
+// ErrCanceled is returned by Single when the caller's cancel signal
+// fires before the run completes.
+var ErrCanceled = errors.New("sweep: run canceled")
+
+// Single is the single-run executor seam: it executes one (params, seed)
+// cell of sc with the sweep's full execution discipline — panic recovery,
+// an optional per-run timeout, and active cancellation — and returns the
+// run's metrics. It is what every sweep worker calls per run, and what
+// the service layer's job pool reuses to serve one request.
+//
+// The run happens on its own goroutine with a recover wrapper, so a
+// panicking cell surfaces as an error rather than killing the caller.
+// When timeout > 0 and the run exceeds it, or when the caller's cancel
+// channel fires first, the scenario's cancel channel is closed
+// (dist-engine scenarios plumb it into dist.Config.Cancel, stopping
+// within one round) and Single waits for the run goroutine to unwind —
+// so no abandoned writer keeps mutating shared state behind the caller's
+// back. A run that ignores the cancel signal (sequential solvers may) is
+// abandoned after a grace period of one more timeout (one minute when no
+// timeout was set). Cancellation reports ErrCanceled (wrapped); the
+// run's own outcome is discarded.
+func Single(sc *scenario.Scenario, p scenario.Params, seed int64, timeout time.Duration, cancel <-chan struct{}) (scenario.Metrics, error) {
+	inner := make(chan struct{})
+	done := make(chan runOutcome, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				done <- outcome{err: fmt.Errorf("panic: %v", r)}
+				done <- runOutcome{err: fmt.Errorf("panic: %v", r)}
 			}
 		}()
-		m, err := sc.Run(run.Params, run.Seed, cancel)
-		done <- outcome{metrics: m, err: err}
+		m, err := sc.Run(p, seed, inner)
+		done <- runOutcome{metrics: m, err: err}
 	}()
-	var out outcome
+	var timer <-chan time.Time
 	if timeout > 0 {
-		select {
-		case out = <-done:
-		case <-time.After(timeout):
-			close(cancel)
-			// Wait for the canceled run to unwind (its outcome is
-			// discarded), so its writers are gone before the sweep reuses
-			// the worker. A run that ignores the cancel signal is abandoned
-			// after one more timeout, as sweeps always did.
-			select {
-			case <-done:
-			case <-time.After(timeout):
-			}
-			out = outcome{err: fmt.Errorf("timeout after %s", timeout)}
-		}
-	} else {
-		out = <-done
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
 	}
-	run.Metrics = out.metrics
-	if out.err != nil {
-		run.Error = out.err.Error()
+	grace := timeout
+	if grace <= 0 {
+		grace = time.Minute
+	}
+	select {
+	case out := <-done:
+		return out.metrics, out.err
+	case <-timer:
+		close(inner)
+		awaitUnwind(done, grace)
+		return nil, fmt.Errorf("timeout after %s", timeout)
+	case <-cancel:
+		close(inner)
+		awaitUnwind(done, grace)
+		return nil, fmt.Errorf("%w before completion", ErrCanceled)
+	}
+}
+
+// runOutcome is one run goroutine's result, handed back over the done
+// channel.
+type runOutcome struct {
+	metrics scenario.Metrics
+	err     error
+}
+
+// awaitUnwind waits for an aborted run goroutine to unwind (its outcome
+// is discarded), bounded by the grace period, so the run's writers are
+// gone before the caller moves on.
+func awaitUnwind(done <-chan runOutcome, grace time.Duration) {
+	select {
+	case <-done:
+	case <-time.After(grace):
 	}
 }
 

@@ -1,0 +1,110 @@
+// Command spanlint statically enforces the repo's determinism, metering,
+// and cancellation contracts (see internal/analysis for the analyzer
+// suite and ARCHITECTURE.md "Static guarantees" for the contract map).
+//
+// Two modes share the same analyzers:
+//
+//	spanlint ./...                          standalone: load, check, print
+//	go vet -vettool=$(which spanlint) ./... unit checker under cmd/go
+//
+// Standalone mode loads packages itself (internal/analysis/driver); vet
+// mode speaks cmd/go's vet tool protocol (internal/analysis/unitchecker),
+// which hands the tool one pre-planned package at a time and caches clean
+// results in the build cache, so re-linting an unchanged package is free.
+// CI runs the vet form; the standalone form is for interactive use.
+//
+// Flags:
+//
+//	-analyzers detmap,bitsacct   run a subset of the suite
+//	-critical pkg,...            override the determinism-critical scope
+//	-algopkgs pkg,...            override the all-step-code scope
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distspanner/internal/analysis"
+	"distspanner/internal/analysis/driver"
+	"distspanner/internal/analysis/unitchecker"
+)
+
+const (
+	usageAnalyzers = "comma-separated analyzer subset (default: all)"
+	usageCritical  = "determinism-critical package suffixes"
+	usageAlgopkgs  = "all-step-code package suffixes"
+)
+
+func main() {
+	fs := flag.NewFlagSet("spanlint", flag.ExitOnError)
+	names := fs.String("analyzers", "", usageAnalyzers)
+	critical := fs.String("critical", analysis.CriticalPackages, usageCritical)
+	algopkgs := fs.String("algopkgs", analysis.AlgoPackages, usageAlgopkgs)
+	version := fs.String("V", "", "print version and exit (cmd/go cache-key probe)")
+	printFlags := fs.Bool("flags", false, "print flag schema as JSON and exit (cmd/go probe)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spanlint [flags] [packages]\n       go vet -vettool=$(which spanlint) [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	// cmd/go probes: `-V=full` keys the build cache, `-flags` validates
+	// forwarded analyzer flags. Both print and exit before any analysis.
+	if *version != "" {
+		unitchecker.PrintVersion(os.Stdout)
+		return
+	}
+	if *printFlags {
+		unitchecker.PrintFlags(os.Stdout, map[string]string{
+			"analyzers": usageAnalyzers,
+			"critical":  usageCritical,
+			"algopkgs":  usageAlgopkgs,
+		})
+		return
+	}
+
+	analysis.Pkgs.Critical = *critical
+	analysis.Pkgs.Algo = *algopkgs
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spanlint:", err)
+		os.Exit(2)
+	}
+
+	args := fs.Args()
+	// Vet protocol: a single *.cfg argument names one pre-planned
+	// package; everything else is standalone package patterns.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitchecker.Run(args[0], analyzers))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := driver.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spanlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "spanlint: %d finding%s\n", len(diags), plural(len(diags)))
+		os.Exit(1)
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

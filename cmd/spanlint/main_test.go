@@ -1,0 +1,146 @@
+package main_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestVettoolAgainstBadModule is the end-to-end check of the vet
+// protocol: build the real spanlint binary, point `go vet -vettool` at
+// the known-bad fixture module, and require the exact seeded diagnostics
+// — each (file, line, analyzer) triple marked by a trailing
+// `// seed:<analyzer>` comment in the fixture sources, nothing more,
+// nothing less, and a failing exit status.
+func TestVettoolAgainstBadModule(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "spanlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/spanlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building spanlint: %v\n%s", err, out)
+	}
+
+	badmod := filepath.Join(root, "internal", "analysis", "testdata", "badmod")
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = badmod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 over the known-bad module; output:\n%s", out)
+	}
+	if _, isExit := err.(*exec.ExitError); !isExit {
+		t.Fatalf("running go vet: %v\n%s", err, out)
+	}
+
+	got := parseDiagnostics(t, string(out))
+	want := seededDiagnostics(t, badmod)
+	for key := range want {
+		if !got[key] {
+			t.Errorf("seeded violation not reported: %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected diagnostic: %s", key)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full vet output:\n%s", out)
+	}
+}
+
+// diagLine matches the unitchecker's diagnostic lines in vet output:
+// path.go:line:col: [analyzer] message.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: \[([a-z]+)\] `)
+
+func parseDiagnostics(t *testing.T, out string) map[string]bool {
+	t.Helper()
+	got := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+				continue
+			}
+			t.Errorf("unparseable vet output line: %q", line)
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		got[diagKey(m[1], ln, m[3])] = true
+	}
+	return got
+}
+
+// seededDiagnostics derives the expected set from the fixture sources:
+// every line carrying a trailing `// seed:<analyzer>` marker (markers at
+// the start of comment lines are prose, not expectations).
+func seededDiagnostics(t *testing.T, badmod string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	err := filepath.WalkDir(badmod, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				continue
+			}
+			_, marker, ok := strings.Cut(line, "// seed:")
+			if !ok {
+				continue
+			}
+			want[diagKey(path, i+1, strings.TrimSpace(marker))] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture module: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no seed markers found in the fixture module")
+	}
+	return want
+}
+
+// diagKey normalizes a (file, line, analyzer) triple: vet may print paths
+// relative to the module or absolute, so keep the module-relative suffix.
+func diagKey(path string, line int, analyzer string) string {
+	p := filepath.ToSlash(path)
+	if _, rest, ok := strings.Cut(p, "badmod/"); ok {
+		p = rest
+	}
+	return fmt.Sprintf("%s:%d:%s", p, line, analyzer)
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,121 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"distspanner/internal/analysis"
+	"distspanner/internal/analysis/atest"
+	"distspanner/internal/analysis/driver"
+)
+
+// The golden fixtures under testdata/src pair every analyzer with true
+// positives and proven-clean or waived negatives. The fixture import
+// paths end in the suffixes the default scopes match (…/internal/gen,
+// …/internal/core, …/internal/dist), so these runs exercise the real
+// scoping rules end to end.
+
+func TestDetmapFixtures(t *testing.T) {
+	atest.Run(t, []*analysis.Analyzer{analysis.Detmap},
+		"./internal/analysis/testdata/src/detmap/internal/gen")
+}
+
+func TestDetsourceAlgoPackageFixtures(t *testing.T) {
+	atest.Run(t, []*analysis.Analyzer{analysis.Detsource},
+		"./internal/analysis/testdata/src/detsource/internal/core")
+}
+
+func TestDetsourceMachineScopeFixtures(t *testing.T) {
+	atest.Run(t, []*analysis.Analyzer{analysis.Detsource},
+		"./internal/analysis/testdata/src/detsource/internal/dist")
+}
+
+func TestBitsacctFixtures(t *testing.T) {
+	atest.Run(t, []*analysis.Analyzer{analysis.Bitsacct},
+		"./internal/analysis/testdata/src/bitsacct/internal/dist")
+}
+
+func TestCancelpropFixtures(t *testing.T) {
+	atest.Run(t, []*analysis.Analyzer{analysis.Cancelprop},
+		"./internal/analysis/testdata/src/cancelprop")
+}
+
+// TestUnjustifiedDirective pins the rule the fixtures cannot express with
+// trailing want comments (the directive occupies the line): a bare
+// //spanlint: directive with no justification waives the underlying
+// diagnostic but draws its own, so silencing always documents why.
+func TestUnjustifiedDirective(t *testing.T) {
+	const src = `package gen
+
+func Keys(m map[int]int) []int {
+	var out []int
+	//spanlint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	diags := checkSource(t, "distspanner/internal/gen", src, analysis.Detmap)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly the missing-justification one", len(diags), diags)
+	}
+	if want := "//spanlint:ordered needs a justification"; !strings.Contains(diags[0].Message, want) {
+		t.Fatalf("diagnostic %q does not mention %q", diags[0].Message, want)
+	}
+	if line := diags[0].Position.Line; line != 5 {
+		t.Fatalf("diagnostic anchored at line %d, want the directive's line 5", line)
+	}
+}
+
+// TestScopeSuffixes pins the package scoping: a map range that is flagged
+// in a critical package is ignored in an out-of-scope one.
+func TestScopeSuffixes(t *testing.T) {
+	const src = `package x
+
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if diags := checkSource(t, "example.com/tools/x", src, analysis.Detmap); len(diags) != 0 {
+		t.Fatalf("out-of-scope package drew %v", diags)
+	}
+	if diags := checkSource(t, "example.com/internal/gen", src, analysis.Detmap); len(diags) != 1 {
+		t.Fatalf("critical-suffix package drew %v, want one detmap finding", diags)
+	}
+}
+
+// checkSource typechecks one import-free source string under the given
+// package path and runs the analyzer over it.
+func checkSource(t *testing.T, pkgPath, src string, a *analysis.Analyzer) []driver.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.RunAnalyzers(fset, []*ast.File{f}, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}

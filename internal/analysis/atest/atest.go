@@ -1,0 +1,162 @@
+// Package atest is the golden-fixture harness for the spanlint analyzers,
+// a stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under internal/analysis/testdata/src. The
+// directory layer under src names the analyzer under test and the layers
+// below it recreate the import-path suffixes the default scopes match
+// (…/detmap/internal/gen is critical because it ends in /internal/gen),
+// so fixtures exercise the real scoping rules instead of bypassing them.
+// Go tooling never matches testdata directories with ./... patterns, so
+// the deliberate violations inside are invisible to the repo's own build,
+// vet, and lint runs — but `go list` still loads them when named
+// explicitly, which is how the harness compiles them with full type
+// information.
+//
+// Expectations are `// want "regexp"` comments trailing the line a
+// diagnostic anchors to, exactly analysistest's convention: every
+// diagnostic must match an unconsumed want on its line, and every want
+// must be consumed.
+package atest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"distspanner/internal/analysis"
+	"distspanner/internal/analysis/driver"
+)
+
+// Run loads the fixture packages named by repo-root-relative patterns
+// (e.g. "./internal/analysis/testdata/src/detmap/internal/gen"), applies
+// the analyzers, and diffs the diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	root := moduleRoot(t)
+	diags, err := driver.Run(root, patterns, analyzers)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	wants := collectWants(t, root, patterns)
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("expected diagnostic not reported:\n  %s:%d: want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a regexp that must match a diagnostic message
+// reported at file:line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consume(wants []*want, d driver.Diagnostic) bool {
+	file := filepath.Clean(d.Position.Filename)
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every fixture file for `// want` comments. Each
+// carries one or more quoted regexps; the comment's own line is the
+// expected diagnostic line, so trailing placement is the norm.
+func collectWants(t *testing.T, root string, patterns []string) []*want {
+	t.Helper()
+	fset := token.NewFileSet()
+	var wants []*want
+	for _, pat := range patterns {
+		dir := filepath.Join(root, pat)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", path, err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					line := fset.Position(c.Pos()).Line
+					for _, expr := range quotedStrings(t, path, line, rest) {
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, expr, err)
+						}
+						wants = append(wants, &want{file: filepath.Clean(path), line: line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// quotedStrings unquotes the sequence of Go string literals after a want
+// marker: `// want "a" "b"` carries two expectations.
+func quotedStrings(t *testing.T, path string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", path, line, s)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s:%d: unquoting %q: %v", path, line, q, err)
+		}
+		out = append(out, u)
+		s = s[len(q):]
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Bitsacct is the static companion to dist.AuditPayloadFields: every
+// field of a payload struct — a struct with a `Bits() int` method in a
+// determinism-critical package — must be referenced by its Bits method,
+// or explicitly waived on the method's doc comment with
+// `//spanlint:bits <field…> — <why>`.
+//
+// The runtime audit demands an accounting-table entry for every field
+// (exported or not, embedded or not) and fails CI when a reflection test
+// covers the type; this analyzer catches the same drift at build time
+// and for types no conformance test names. The agreement is exact:
+//
+//   - unexported fields count — the wire records transmit them all, so
+//     the accounting must bill them all;
+//   - an embedded struct is one field under its type name, exactly as
+//     reflect sees it: referencing the embedded value (typically
+//     `m.Inner.Bits()`) covers it, and its promoted fields are audited
+//     where the inner type's own Bits method is declared;
+//   - a field charged by a constant term (fixed-width words, flag bits)
+//     is never *referenced*, so it must be named in the waiver — which is
+//     how the accounting rationale ends up written next to the method.
+//
+// Adding a payload field without touching Bits therefore fails the build
+// here and the conformance test at run time, with the same field name in
+// both messages.
+var Bitsacct = &Analyzer{
+	Name: "bitsacct",
+	Doc:  "requires every payload struct field to be referenced (or //spanlint:bits-waived) in its Bits() accounting",
+	Run:  runBitsacct,
+}
+
+func runBitsacct(pass *Pass) error {
+	if !pass.critical() {
+		return nil
+	}
+	pass.walkFiles(func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Bits" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() != 1 {
+				continue
+			}
+			checkBitsMethod(pass, fd)
+		}
+	})
+	return nil
+}
+
+func checkBitsMethod(pass *Pass, fd *ast.FuncDecl) {
+	recv := fd.Recv.List[0]
+	t := pass.TypesInfo.TypeOf(recv.Type)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	waived := make(map[string]bool)
+	if d := funcDirective(fd, "bits"); d != nil {
+		names, why := splitWaiver(d.args)
+		if len(names) == 0 || why == "" {
+			pass.Reportf(d.pos, "//spanlint:bits needs waived field names and a justification: //spanlint:bits <field…> — <why>")
+		}
+		for _, n := range names {
+			waived[n] = true
+		}
+	}
+	referenced := fieldRefsInBody(pass, fd, t)
+	typeName := types.TypeString(t, types.RelativeTo(pass.Pkg))
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if referenced[f.Name()] {
+			continue
+		}
+		if waived[f.Name()] {
+			delete(waived, f.Name())
+			continue
+		}
+		pass.Reportf(fd.Pos(), "%s.%s is not referenced in Bits() accounting: every transmitted field must be billed (reference it, or waive a constant-term field with //spanlint:bits %s — <why>) — dist.AuditPayloadFields enforces the same at run time",
+			typeName, f.Name(), f.Name())
+	}
+	for name := range waived {
+		if !hasField(st, name) {
+			pass.Reportf(fd.Pos(), "//spanlint:bits waives %q but %s has no such field (stale waiver)", name, typeName)
+		}
+	}
+}
+
+// splitWaiver parses "f g — why" / "f g -- why" / "f g: why" into field
+// names and justification.
+func splitWaiver(args string) ([]string, string) {
+	for _, sep := range []string{"—", "--", ":"} {
+		if names, why, ok := strings.Cut(args, sep); ok {
+			return strings.Fields(names), strings.TrimSpace(why)
+		}
+	}
+	return strings.Fields(args), ""
+}
+
+func hasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldRefsInBody collects the field names of recvType selected anywhere
+// in the method body — through the receiver or any other value of the
+// type (a Bits method may delegate through a copy).
+func fieldRefsInBody(pass *Pass, fd *ast.FuncDecl, recvType types.Type) map[string]bool {
+	refs := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		xt := pass.TypesInfo.TypeOf(sel.X)
+		if xt == nil {
+			return true
+		}
+		if ptr, okp := xt.(*types.Pointer); okp {
+			xt = ptr.Elem()
+		}
+		if !types.Identical(xt, recvType) {
+			return true
+		}
+		// Selecting a promoted field of an embedded struct covers the
+		// embedded field itself: resolve which direct field the selector
+		// lands on (or passes through).
+		if name, okn := directFieldFor(pass.Pkg, recvType, sel.Sel.Name); okn {
+			refs[name] = true
+		}
+		return true
+	})
+	return refs
+}
+
+// directFieldFor maps a selector name to the direct field of t it names
+// or promotes through.
+func directFieldFor(pkg *types.Package, t types.Type, sel string) (string, bool) {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == sel {
+			return f.Name(), true
+		}
+	}
+	// Promoted: find the embedded field whose type (or method set)
+	// carries sel.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(f.Type(), true, pkg, sel)
+		if obj != nil {
+			return f.Name(), true
+		}
+	}
+	return "", false
+}

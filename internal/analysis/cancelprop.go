@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cancelprop enforces cancellation propagation: a function that accepts a
+// cancel channel (`<-chan struct{}` / `chan struct{}`) took on the
+// obligation to make everything it starts stoppable. The sweep-timeout
+// leak fixed in the step-engine PR was exactly the failure mode this
+// analyzer targets — a timeout fired, the sweep moved on, and the losing
+// run kept a writer goroutine alive because the cancel channel never
+// reached dist.Config.
+//
+// Inside any function (declaration or literal) with a cancel-channel
+// parameter, three shapes are diagnostics, each waivable with
+// `//spanlint:nocancel <why>` on the offending line:
+//
+//   - calling a function that itself accepts a cancel channel while
+//     passing an explicit nil for it (the callee will block
+//     uncancelably);
+//   - constructing a composite literal of a struct that has a
+//     cancel-channel field named Cancel without setting it (the
+//     dist.Config / CoordConfig shape — a run is launched that the
+//     caller's cancel can never reach);
+//   - never mentioning the cancel parameter at all (the obligation was
+//     accepted and dropped on the floor; name it _ if the signature is
+//     fixed by an interface and cancellation is genuinely meaningless).
+//
+// Passing a *different* channel derived locally (a merged or wrapped
+// canceler, as sweep.Single builds) is fine — the analyzer only demands
+// that cancellation reach downstream, not that the same channel value
+// flow through.
+var Cancelprop = &Analyzer{
+	Name: "cancelprop",
+	Doc:  "requires functions accepting a cancel channel to propagate it into every blocking call and Config they build",
+	Run:  runCancelprop,
+}
+
+func runCancelprop(pass *Pass) error {
+	pass.walkFiles(func(f *ast.File) {
+		// visit both declarations and function literals; literals
+		// inherit nothing — each function owns only its own parameter.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			var name string
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body, name = x.Type, x.Body, x.Name.Name
+			case *ast.FuncLit:
+				ftype, body, name = x.Type, x.Body, "func literal"
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			params := cancelParams(pass, ftype)
+			if len(params) == 0 {
+				return true
+			}
+			checkCancelBody(pass, name, ftype, body, params)
+			return true
+		})
+	})
+	return nil
+}
+
+// cancelParams returns the objects of every cancel-channel parameter,
+// skipping ones named _ (an explicit opt-out the language already
+// provides).
+func cancelParams(pass *Pass, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	for _, field := range ftype.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isCancelChan(t) {
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func checkCancelBody(pass *Pass, name string, ftype *ast.FuncType, body *ast.BlockStmt, params []types.Object) {
+	paramSet := make(map[types.Object]bool, len(params))
+	for _, p := range params {
+		paramSet[p] = true
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal with its own cancel parameter is checked
+			// by its own visit; its body still counts as a use site for
+			// ours (closures commonly capture the cancel).
+		case *ast.Ident:
+			if paramSet[pass.TypesInfo.ObjectOf(x)] {
+				used = true
+			}
+		case *ast.CallExpr:
+			checkNilCancelArg(pass, x)
+		case *ast.CompositeLit:
+			checkCancelField(pass, x)
+		}
+		return true
+	})
+	if !used {
+		pos := ftype.Pos()
+		if !pass.waived(pos, "nocancel") {
+			pass.Reportf(pos, "%s accepts a cancel channel but never propagates it: everything this function starts outlives cancellation (pass it on, name it _, or waive with //spanlint:nocancel <why>)", name)
+		}
+	}
+}
+
+// checkNilCancelArg flags an explicit nil passed where the callee expects
+// a cancel channel.
+func checkNilCancelArg(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		if i >= n {
+			break
+		}
+		pi := i
+		if sig.Variadic() && pi >= n-1 {
+			pi = n - 1
+		}
+		if !isCancelChan(sig.Params().At(pi).Type()) {
+			continue
+		}
+		id, isIdent := arg.(*ast.Ident)
+		if !isIdent || id.Name != "nil" {
+			continue
+		}
+		if _, isNil := pass.TypesInfo.Uses[id].(*types.Nil); !isNil {
+			continue
+		}
+		if !pass.waived(arg.Pos(), "nocancel") {
+			pass.Reportf(arg.Pos(), "nil cancel passed to %s while a cancel channel is in scope: the callee will block uncancelably (pass the cancel through, or waive with //spanlint:nocancel <why>)", calleeName(call))
+		}
+	}
+}
+
+// checkCancelField flags a struct literal of a type with a Cancel
+// cancel-channel field that the literal leaves unset.
+func checkCancelField(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	hasCancel := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Cancel" && isCancelChan(f.Type()) {
+			hasCancel = true
+		}
+	}
+	if !hasCancel {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, okkv := elt.(*ast.KeyValueExpr)
+		if !okkv {
+			// positional literal: all fields set by construction
+			return
+		}
+		if id, okid := kv.Key.(*ast.Ident); okid && id.Name == "Cancel" {
+			return
+		}
+	}
+	if !pass.waived(lit.Pos(), "nocancel") {
+		pass.Reportf(lit.Pos(), "%s built without Cancel while a cancel channel is in scope: the launched run cannot be stopped (set Cancel, or waive with //spanlint:nocancel <why>)",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// spanlint directives are justification comments that waive one specific
+// diagnostic at one specific site. Each analyzer has its own verb, and
+// every directive must carry a justification after the verb — an
+// unexplained waiver is itself a diagnostic, so the annotation records
+// *why* the contract holds, not merely that someone silenced the tool:
+//
+//	//spanlint:ordered <why>   detmap: this map fold is order-insensitive
+//	//spanlint:impure <why>    detsource: this impure call is engine-serialized / not replayed
+//	//spanlint:bits f g <why>  bitsacct: fields f, g are charged by a constant term
+//	//spanlint:nocancel <why>  cancelprop: this call legitimately outlives / drops cancel
+//
+// A directive applies to the line it is written on (trailing comment) or
+// to the line directly below it (comment-above), matching the placement
+// conventions of //nolint and //go:build.
+
+const directivePrefix = "//spanlint:"
+
+// directive is one parsed //spanlint: comment.
+type directive struct {
+	verb string // "ordered", "impure", "bits", "nocancel"
+	args string // everything after the verb, trimmed
+	pos  token.Pos
+}
+
+// directiveIndex maps file:line to the directives governing that line.
+type directiveIndex map[string]map[int][]directive
+
+// directivesAt returns the directives that govern pos: those written on
+// pos's own line plus those on the line immediately above.
+func (p *Pass) directivesAt(pos token.Pos) []directive {
+	if p.directives == nil {
+		p.directives = buildDirectiveIndex(p.Fset, p.Files)
+	}
+	posn := p.Fset.Position(pos)
+	lines := p.directives[posn.Filename]
+	var out []directive
+	out = append(out, lines[posn.Line]...)
+	out = append(out, lines[posn.Line-1]...)
+	return out
+}
+
+// directiveAt returns the first directive with the given verb governing
+// pos, or nil.
+func (p *Pass) directiveAt(pos token.Pos, verb string) *directive {
+	for _, d := range p.directivesAt(pos) {
+		if d.verb == verb {
+			return &d
+		}
+	}
+	return nil
+}
+
+// waived reports whether a diagnostic at pos is waived by a verb
+// directive. A directive with an empty justification does not waive —
+// instead it draws its own diagnostic, so silencing always documents the
+// reasoning.
+func (p *Pass) waived(pos token.Pos, verb string) bool {
+	d := p.directiveAt(pos, verb)
+	if d == nil {
+		return false
+	}
+	if strings.TrimSpace(d.args) == "" {
+		p.Reportf(d.pos, "//spanlint:%s needs a justification — say why the contract holds here", verb)
+	}
+	return true
+}
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				verb, args, _ := strings.Cut(text, " ")
+				posn := fset.Position(c.Pos())
+				lines := idx[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					idx[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], directive{verb: verb, args: strings.TrimSpace(args), pos: c.Pos()})
+			}
+		}
+	}
+	return idx
+}
+
+// funcDirective returns the first verb directive in a function's doc
+// comment, or nil. bitsacct waivers live on the Bits method declaration,
+// where the accounting they justify is written.
+func funcDirective(decl *ast.FuncDecl, verb string) *directive {
+	if decl.Doc == nil {
+		return nil
+	}
+	for _, c := range decl.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		v, args, _ := strings.Cut(text, " ")
+		if v == verb {
+			return &directive{verb: v, args: strings.TrimSpace(args), pos: c.Pos()}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package driver loads and typechecks module packages for spanlint's
+// standalone mode.
+//
+// The loader shells out to `go list -export -deps -json`, which the go
+// toolchain serves entirely from the local module and build cache — no
+// network, no GOPATH layout. Target packages (the ones matching the
+// patterns) are parsed and typechecked from source so the analyzers get
+// syntax; every dependency, including the standard library, is imported
+// from the compiler export data `go list -export` leaves in the build
+// cache. This is the same shape as the vet unitchecker protocol
+// (internal/analysis/unitchecker), just with the loader inlined instead
+// of cmd/go handing us a config file per package.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"distspanner/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the driver uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Diagnostic is one finding with its resolved position.
+type Diagnostic struct {
+	Position token.Position
+	Category string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Category, d.Message)
+}
+
+// Run loads the packages matching patterns, applies the analyzers to
+// each non-dependency package, and returns all diagnostics sorted by
+// position. The returned error reports loader or typechecker failures,
+// not findings.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		ds, err := analyzePackage(fset, imp, p, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
+	return dedupe(diags), nil
+}
+
+// dedupe drops identical findings (nested function literals can make two
+// passes over one call site).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func load(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func analyzePackage(fset *token.FileSet, imp *exportImporter, p listedPackage, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &mappedImporter{imp: imp, importMap: p.ImportMap},
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return RunAnalyzers(fset, files, tpkg, info, analyzers)
+}
+
+// RunAnalyzers applies the suite to one already-typechecked package.
+// Exported for the unitchecker and the test harness, which load packages
+// their own way.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Position: fset.Position(d.Pos),
+				Category: d.Category,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// exportImporter resolves canonical import paths through compiler export
+// data files.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+// NewExportImporter builds an importer over a canonical-path → export
+// data file map. Exported for the unitchecker (whose map comes from the
+// vet config) and the test harness (whose map comes from a go list probe).
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	return newExportImporter(fset, exports)
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.gc.ImportFrom(path, dir, mode)
+}
+
+// mappedImporter applies one package's source-path → canonical-path map
+// before hitting the shared export importer.
+type mappedImporter struct {
+	imp       *exportImporter
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if canon, ok := m.importMap[path]; ok {
+		path = canon
+	}
+	return m.imp.Import(path)
+}

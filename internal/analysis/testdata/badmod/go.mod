@@ -1,0 +1,3 @@
+module spanlintbad
+
+go 1.24

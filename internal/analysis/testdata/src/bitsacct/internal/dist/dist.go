@@ -1,0 +1,85 @@
+// Package dist is the bitsacct golden fixture: payload structs — structs
+// with a Bits() int method in a critical package — whose fields must all
+// be referenced (or waived) in their bit accounting. The cases mirror
+// dist.AuditPayloadFields' runtime semantics exactly: unexported fields
+// count, embedded structs count as one field under their type name, and
+// constant-term fields are waived by name on the method's doc comment.
+package dist
+
+// header is an embedded accounting prefix. Its tag is charged by a
+// constant term, so it is waived rather than referenced.
+type header struct {
+	Tag int
+}
+
+//spanlint:bits Tag — one fixed 8-bit tag word
+func (h header) Bits() int { return 8 }
+
+// goodMsg references every field: the embedded header through its own
+// Bits, the unexported slice per element, and the flag bit. Clean.
+type goodMsg struct {
+	header
+	ids  []int
+	full bool
+}
+
+func (m goodMsg) Bits() int {
+	b := m.header.Bits() + 32*len(m.ids)
+	if m.full {
+		b++
+	}
+	return b
+}
+
+// promoMsg covers its embedded field through a promoted selector: m.Tag
+// resolves through header, which counts as referencing it. Clean.
+type promoMsg struct {
+	header
+	n int
+}
+
+func (m promoMsg) Bits() int {
+	return m.Tag + m.n
+}
+
+// badMsg grew a rank field nobody billed: flagged, with the same field
+// name the runtime audit would report.
+type badMsg struct {
+	ids  []int
+	rank int
+}
+
+func (m badMsg) Bits() int { // want `badMsg\.rank is not referenced in Bits\(\) accounting`
+	return 32 * len(m.ids)
+}
+
+// wrapMsg forgot its embedded header entirely — reflect sees one field
+// named header, and so does the analyzer: flagged.
+type wrapMsg struct {
+	header
+	n int
+}
+
+func (m wrapMsg) Bits() int { // want `wrapMsg\.header is not referenced in Bits\(\) accounting`
+	return 32 + m.n
+}
+
+// secretMsg under-accounts an unexported field — wire records transmit
+// unexported fields all the same: flagged.
+type secretMsg struct {
+	n    int
+	seen bool
+}
+
+func (m secretMsg) Bits() int { // want `secretMsg\.seen is not referenced in Bits\(\) accounting`
+	return m.n
+}
+
+// staleMsg waives a field that no longer exists: flagged as a stale
+// waiver so deleted fields cannot leave dangling justifications.
+type staleMsg struct {
+	n int
+}
+
+//spanlint:bits gone — the field this waived was deleted
+func (m staleMsg) Bits() int { return m.n } // want `//spanlint:bits waives "gone" but staleMsg has no such field`

@@ -1,0 +1,80 @@
+// Package cancelprop is the cancelprop golden fixture. The analyzer runs
+// in every package — accepting a cancel channel is the obligation, not
+// the import path — so this fixture needs no critical-path suffix.
+package cancelprop
+
+// Config mirrors the dist.Config / core.Options shape: a launch config
+// with a Cancel field the analyzer expects populated whenever a cancel
+// channel is in scope.
+type Config struct {
+	Seed   int64
+	Cancel <-chan struct{}
+}
+
+// Launch stands in for an engine run.
+func Launch(cfg Config) error { return nil }
+
+// Blocky stands in for a callee that accepts a cancel channel.
+func Blocky(n int, cancel <-chan struct{}) error {
+	select {
+	case <-cancel:
+	default:
+	}
+	return nil
+}
+
+// Dropped accepts the obligation and drops it on the floor: flagged.
+func Dropped(n int, cancel <-chan struct{}) error { // want `Dropped accepts a cancel channel but never propagates it`
+	return Blocky(n, make(chan struct{}))
+}
+
+// NilPass blocks a callee uncancelably while holding a live cancel:
+// flagged at the nil argument.
+func NilPass(cancel <-chan struct{}) error {
+	_ = cancel
+	return Blocky(1, nil) // want `nil cancel passed to Blocky`
+}
+
+// NoWire launches a run its own cancel can never reach: flagged at the
+// config literal.
+func NoWire(cancel <-chan struct{}) error {
+	_ = cancel
+	return Launch(Config{Seed: 1}) // want `Config built without Cancel while a cancel channel is in scope`
+}
+
+// Wired propagates properly: clean.
+func Wired(cancel <-chan struct{}) error {
+	return Launch(Config{Seed: 1, Cancel: cancel})
+}
+
+// Forwarded hands the channel straight to a callee: clean.
+func Forwarded(cancel <-chan struct{}) error {
+	return Blocky(2, cancel)
+}
+
+// Derived wires a locally merged canceler downstream — cancellation still
+// reaches the run, through a different channel value: clean.
+func Derived(cancel <-chan struct{}) error {
+	merged := make(chan struct{})
+	go func() {
+		<-cancel
+		close(merged)
+	}()
+	return Launch(Config{Seed: 1, Cancel: merged})
+}
+
+// Ignored opts out with the blank identifier the language provides: clean.
+func Ignored(n int, _ <-chan struct{}) int { return n }
+
+// PureMath keeps the named parameter an interface demands but waives the
+// obligation with a justification: clean.
+func PureMath(cancel <-chan struct{}) int { //spanlint:nocancel signature fixed by the scenario interface; the body is closed-form arithmetic
+	return 42
+}
+
+// WaivedLiteral justifies leaving one launch uncancellable: clean.
+func WaivedLiteral(cancel <-chan struct{}) error {
+	_ = cancel
+	//spanlint:nocancel this run is bounded to one round and returns before cancellation could matter
+	return Launch(Config{Seed: 1})
+}

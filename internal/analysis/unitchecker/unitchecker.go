@@ -1,0 +1,174 @@
+// Package unitchecker speaks cmd/go's vet tool protocol, so cmd/spanlint
+// can run as `go vet -vettool=$(which spanlint) ./...`.
+//
+// The protocol (stable since Go 1.12; reverse-engineered here because the
+// module vendors nothing): cmd/go first probes the tool with `-flags`
+// (JSON description of supported flags, validated against user-passed
+// analyzer flags) and `-V=full` (a content-addressed version line that
+// keys the build cache, so lint results are cached and incremental like
+// compiles). It then invokes the tool once per package in dependency
+// order with a single argument, the path to a JSON config file naming the
+// package's sources, its import map, and the compiler export data of
+// every dependency. Dependency-only packages arrive with VetxOnly set —
+// they exist to produce analysis facts, which this suite does not use, so
+// they are acknowledged with an empty facts file. For target packages the
+// tool typechecks from source against the export data, runs the suite,
+// writes the facts file, prints findings to stderr as file:line:col
+// lines, and exits nonzero when it found anything — which is exactly what
+// makes `go vet -vettool` fail the build on a contract violation.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"distspanner/internal/analysis"
+	"distspanner/internal/analysis/driver"
+)
+
+// Config is the vet config cmd/go writes for each package. Field set and
+// meaning follow cmd/go/internal/work's vetConfig struct.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion emits the `-V=full` cache key: the tool name plus a hash
+// of the executable, so editing spanlint invalidates cached vet results.
+func PrintVersion(w io.Writer) error {
+	name := "spanlint"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+	return err
+}
+
+// jsonFlag mirrors the schema cmd/go parses from `-flags` output.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// PrintFlags describes the analyzer flags to cmd/go so invocations like
+// `go vet -vettool=spanlint -critical=... ./...` validate and forward.
+func PrintFlags(w io.Writer, flags map[string]string) error {
+	var out []jsonFlag
+	for name, usage := range flags {
+		out = append(out, jsonFlag{Name: name, Usage: usage})
+	}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Run executes the suite for one vet config file and returns the desired
+// process exit code: 0 clean, 1 internal/typecheck error, 2 findings.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spanlint:", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "spanlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// Acknowledge the facts file first: cmd/go requires it to exist even
+	// for packages we produce no findings (or facts) for.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "spanlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := check(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "spanlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func check(cfg *Config, analyzers []*analysis.Analyzer) ([]driver.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := driver.NewExportImporter(fset, cfg.PackageFile)
+	conf := types.Config{
+		Importer: importMapImporter{imp: imp, m: cfg.ImportMap},
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	if conf.Sizes == nil {
+		conf.Sizes = types.SizesFor("gc", "amd64")
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RunAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+type importMapImporter struct {
+	imp types.ImporterFrom
+	m   map[string]string
+}
+
+func (i importMapImporter) Import(path string) (*types.Package, error) {
+	if canon, ok := i.m[path]; ok {
+		path = canon
+	}
+	return i.imp.ImportFrom(path, "", 0)
+}

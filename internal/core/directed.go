@@ -37,6 +37,7 @@ type dirUncovMsg struct {
 	n     int
 }
 
+//spanlint:bits full — the trailing +1 is the one-bit full/removal flag
 func (m dirUncovMsg) Bits() int { return (1+len(m.heads))*dist.IDBits(m.n) + 1 }
 func (m dirUncovMsg) rec() dist.Rec {
 	r := dist.Rec{Tag: tagDirUncov, Ints: m.heads}
@@ -75,6 +76,7 @@ type dirStarMsg struct {
 	n       int
 }
 
+//spanlint:bits r — the 4*IDBits(n) term is the rank r ∈ {1..n⁴}, four id-sized words
 func (m dirStarMsg) Bits() int {
 	return (1+len(m.entries))*(dist.IDBits(m.n)+2) + 4*dist.IDBits(m.n)
 }

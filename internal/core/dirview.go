@@ -46,9 +46,11 @@ func newDirView(nbrs map[int]int, hDir [][2]int) *dirView {
 	})
 	uv := newLocalView(selectable, nil, pairs)
 	dv := &dirView{uv: uv, dirCnt: make([]float64, len(uv.nbrs)), mult: make(map[[2]int]int, len(multByIDs))}
+	//spanlint:ordered pos is a bijection over ids, so distinct iterations write distinct dirCnt slots
 	for id, cnt := range nbrs {
 		dv.dirCnt[uv.pos[id]] = float64(cnt)
 	}
+	//spanlint:ordered distinct id pairs map through the pos bijection to distinct normalized position pairs
 	for p, m := range multByIDs {
 		a, b := uv.pos[p[0]], uv.pos[p[1]]
 		if a > b {

@@ -60,6 +60,7 @@ type uncovMsg struct {
 	n    int
 }
 
+//spanlint:bits full — the trailing +1 is the one-bit full/removal flag
 func (m uncovMsg) Bits() int { return (1+len(m.nbrs))*dist.IDBits(m.n) + 1 }
 func (m uncovMsg) rec() dist.Rec {
 	r := dist.Rec{Tag: tagUncov, Ints: m.nbrs}
@@ -82,6 +83,7 @@ type densMsg struct {
 	num, den       int
 }
 
+//spanlint:bits rho raw wmax num den — five fixed 64-bit scalar words, billed by the constant 5*64
 func (densMsg) Bits() int { return 5 * 64 }
 func (m densMsg) rec() dist.Rec {
 	return dist.Rec{Tag: tagDens, A: int64(m.num), B: int64(m.den), F0: m.rho, F1: m.raw, F2: m.wmax}
@@ -96,6 +98,7 @@ type maxMsg struct {
 	num, den       int
 }
 
+//spanlint:bits rho raw wmax num den — five fixed 64-bit scalar words, billed by the constant 5*64
 func (maxMsg) Bits() int { return 5 * 64 }
 func (m maxMsg) rec() dist.Rec {
 	return dist.Rec{Tag: tagMax, A: int64(m.num), B: int64(m.den), F0: m.rho, F1: m.raw, F2: m.wmax}
@@ -109,6 +112,7 @@ type starMsg struct {
 	n    int
 }
 
+//spanlint:bits r — the 4*IDBits(n) term is the rank r ∈ {1..n⁴}, four id-sized words
 func (m starMsg) Bits() int     { return (1+len(m.star))*dist.IDBits(m.n) + 4*dist.IDBits(m.n) }
 func (m starMsg) rec() dist.Rec { return dist.Rec{Tag: tagStar, A: m.r, Ints: m.star} }
 

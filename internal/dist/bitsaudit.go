@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"reflect"
+	"sort"
 )
 
 // AuditPayloadFields checks a payload struct's bit accounting against its
@@ -44,7 +45,14 @@ func AuditPayloadFields(p any, bits int, accounted map[string]int) error {
 			min += per
 		}
 	}
+	// Sorted so that which stale entry gets reported is deterministic
+	// when the table has several.
+	names := make([]string, 0, len(accounted))
 	for name := range accounted {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if !seen[name] {
 			return fmt.Errorf("%T: audit table names unknown field %q", p, name)
 		}

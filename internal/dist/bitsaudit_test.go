@@ -48,6 +48,50 @@ func TestAuditPayloadFields(t *testing.T) {
 	}
 }
 
+// TestAuditPayloadFieldsEmbedded pins the embedded-struct and
+// unexported-field semantics the static bitsacct analyzer mirrors: an
+// embedded struct is one field under its type name, charged once (its own
+// promoted fields are audited where the inner type's Bits lives), and
+// unexported fields are billed like any other — the wire records transmit
+// them all. The struct shapes deliberately match the bitsacct golden
+// fixtures under internal/analysis/testdata/src/bitsacct, so the static
+// and runtime audits are exercised against the same contract.
+func TestAuditPayloadFieldsEmbedded(t *testing.T) {
+	type header struct {
+		Tag int
+	}
+	type goodMsg struct {
+		header
+		ids  []int
+		full bool
+	}
+	m := goodMsg{header: header{Tag: 3}, ids: []int{4, 5}, full: true}
+	bits := 8 + 2*32 + 1
+	ok := map[string]int{"header": 8, "ids": 32, "full": 1}
+	if err := AuditPayloadFields(m, bits, ok); err != nil {
+		t.Fatalf("conforming embedded payload rejected: %v", err)
+	}
+	// The embedded struct is one field named after its type; a table
+	// that forgets it fails under that name — the same name the static
+	// analyzer reports for an unreferenced embedded field.
+	noHeader := map[string]int{"ids": 32, "full": 1}
+	if err := AuditPayloadFields(m, bits, noHeader); err == nil ||
+		!strings.Contains(err.Error(), `"header"`) || !strings.Contains(err.Error(), "no accounting entry") {
+		t.Fatalf("missing embedded-field entry not caught: %v", err)
+	}
+	// Unexported fields need entries too.
+	noIds := map[string]int{"header": 8, "full": 1}
+	if err := AuditPayloadFields(m, bits, noIds); err == nil ||
+		!strings.Contains(err.Error(), `"ids"`) || !strings.Contains(err.Error(), "no accounting entry") {
+		t.Fatalf("missing unexported-field entry not caught: %v", err)
+	}
+	// Undercounting the embedded contribution is an undercount like any
+	// other: the header's 8 bits are part of the minimum.
+	if err := AuditPayloadFields(m, bits-8, ok); err == nil || !strings.Contains(err.Error(), "under-accounts") {
+		t.Fatalf("embedded undercount not caught: %v", err)
+	}
+}
+
 // TestPairsBitsConformance audits the engine's own Pairs payload.
 func TestPairsBitsConformance(t *testing.T) {
 	p := Pairs{Space: 100, Values: [][2]int{{1, 2}, {3, 4}, {5, 6}}}

@@ -47,14 +47,33 @@ func joinClean(t *testing.T, wait func() []error) {
 	}
 }
 
+// namedGraph pairs a conformance graph with its subtest label; the suite
+// iterates the slice so subtest order (and any shared-cluster scheduling
+// it implies) is deterministic — a map here made the matrix order vary
+// run to run.
+type namedGraph struct {
+	name string
+	g    *graph.Graph
+}
+
 // suiteGraphs is the conformance graph matrix — the same trio the
 // trace-level cross-mode tests pin.
-func suiteGraphs() map[string]*graph.Graph {
-	return map[string]*graph.Graph{
-		"gnp48":    gen.ConnectedGNP(48, 0.15, 1),
-		"clique12": gen.Clique(12),
-		"grid6":    gen.Grid(6, 6),
+func suiteGraphs() []namedGraph {
+	return []namedGraph{
+		{"gnp48", gen.ConnectedGNP(48, 0.15, 1)},
+		{"clique12", gen.Clique(12)},
+		{"grid6", gen.Grid(6, 6)},
 	}
+}
+
+// suiteGraph returns the named graph from the matrix.
+func suiteGraph(name string) *graph.Graph {
+	for _, ng := range suiteGraphs() {
+		if ng.name == name {
+			return ng.g
+		}
+	}
+	panic("transportconf: unknown suite graph " + name)
 }
 
 var suiteSeeds = []int64{1, 2}
@@ -194,10 +213,10 @@ func equivalence(t *testing.T, newCluster Factory) {
 	graphs := suiteGraphs()
 	for _, name := range distrun.Names() {
 		f, _ := distrun.Get(name)
-		for gname, g := range graphs {
+		for _, ng := range graphs {
 			for _, seed := range suiteSeeds {
-				t.Run(name+"/"+gname+"/"+itoa(seed), func(t *testing.T) {
-					cfg := f.CoordConfig(g, seed)
+				t.Run(name+"/"+ng.name+"/"+itoa(seed), func(t *testing.T) {
+					cfg := f.CoordConfig(ng.g, seed)
 					ref := runLocal(f, cfg)
 					if ref.err != nil {
 						t.Fatalf("reference run failed: %v", ref.err)
@@ -214,7 +233,7 @@ func equivalence(t *testing.T, newCluster Factory) {
 // workerCounts pins shard-count invariance on the transport: the same
 // instance over 1, 2, 3, and 5 workers produces the same transcript.
 func workerCounts(t *testing.T, newCluster Factory) {
-	g := suiteGraphs()["gnp48"]
+	g := suiteGraph("gnp48")
 	f, _ := distrun.Get("twospanner")
 	cfg := f.CoordConfig(g, 1)
 	ref := runLocal(f, cfg)
@@ -233,7 +252,7 @@ func workerCounts(t *testing.T, newCluster Factory) {
 // cutMetering pins Stats.CutBits over the wire: the coordinator's cut
 // assignment reaches the workers and their metering folds back.
 func cutMetering(t *testing.T, newCluster Factory) {
-	g := suiteGraphs()["grid6"]
+	g := suiteGraph("grid6")
 	cut := make([]bool, g.N())
 	for v := g.N() / 2; v < g.N(); v++ {
 		cut[v] = true
@@ -282,7 +301,7 @@ func idleQuiescence(t *testing.T, newCluster Factory) {
 // aborts the run with the local engine's exact error, the transcript
 // stays empty (no partial round), and the cluster tears down.
 func cancellation(t *testing.T, newCluster Factory) {
-	g := suiteGraphs()["clique12"]
+	g := suiteGraph("clique12")
 	f, _ := distrun.Get("twospanner")
 	cancel := make(chan struct{})
 	close(cancel)
@@ -324,7 +343,7 @@ func cancellation(t *testing.T, newCluster Factory) {
 // roundLimit pins abort-path equality: the distributed run hits
 // MaxRounds with the local engine's exact error text.
 func roundLimit(t *testing.T, newCluster Factory) {
-	g := suiteGraphs()["clique12"]
+	g := suiteGraph("clique12")
 	f, _ := distrun.Get("twospanner")
 	cfg := f.CoordConfig(g, 1)
 	cfg.MaxRounds = 2
@@ -346,7 +365,7 @@ func roundLimit(t *testing.T, newCluster Factory) {
 // unknownAlgo pins resolver-failure propagation: a family name the
 // workers cannot resolve surfaces as a ShardError, not a hang.
 func unknownAlgo(t *testing.T, newCluster Factory) {
-	g := suiteGraphs()["clique12"]
+	g := suiteGraph("clique12")
 	ct, wait := newCluster(t, 2)
 	defer func() {
 		for i, werr := range wait() {

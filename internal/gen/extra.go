@@ -3,6 +3,7 @@ package gen
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"distspanner/internal/graph"
 )
@@ -58,7 +59,17 @@ func PreferentialAttachment(n, m int, seed int64) *graph.Graph {
 		for len(targets) < want {
 			targets[pool[rng.Intn(len(pool))]] = true
 		}
+		// Attach in sorted target order: ranging the map directly made
+		// edge-insertion order — and, through the endpoint pool, every
+		// later attachment choice — depend on map iteration order, so
+		// the same (n, m, seed) generated structurally different graphs
+		// run to run (caught by spanlint's detmap).
+		chosen := make([]int, 0, len(targets))
 		for u := range targets {
+			chosen = append(chosen, u)
+		}
+		sort.Ints(chosen)
+		for _, u := range chosen {
 			g.AddEdge(v, u)
 			pool = append(pool, u)
 		}

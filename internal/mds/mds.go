@@ -130,6 +130,7 @@ type densityMsg struct {
 	n     int
 }
 
+//spanlint:bits count — the one IDBits(n) word is count itself; n only sizes the word
 func (m densityMsg) Bits() int     { return dist.IDBits(m.n) }
 func (m densityMsg) rec() dist.Rec { return dist.Rec{Tag: tagDensity, A: int64(m.count)} }
 
@@ -148,6 +149,7 @@ type maxMsg struct {
 	n     int
 }
 
+//spanlint:bits count — the one IDBits(n) word is count itself; n only sizes the word
 func (m maxMsg) Bits() int     { return dist.IDBits(m.n) }
 func (m maxMsg) rec() dist.Rec { return dist.Rec{Tag: tagMax, A: int64(m.count)} }
 
@@ -159,6 +161,7 @@ type candMsg struct {
 	n int
 }
 
+//spanlint:bits r — the 4*IDBits(n) term is the rank r ∈ {1..n⁴}, four id-sized words
 func (m candMsg) Bits() int     { return 4 * dist.IDBits(m.n) }
 func (m candMsg) rec() dist.Rec { return dist.Rec{Tag: tagCand, A: m.r} }
 

@@ -70,7 +70,7 @@ func init() {
 			Params{"l": "4", "beta": "6"},
 			Params{"l": "5", "beta": "8"},
 		),
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) { //spanlint:nocancel analytic Fig. 1 gadgets are fixed-size (l <= 5) and finish in microseconds
 			l := p.Int("l", 4)
 			beta := p.Int("beta", 2*l-2)
 			s := instanceSeed(p, seed)
@@ -125,7 +125,7 @@ func init() {
 			Params{"mode": "meter", "l": "4", "beta": "6", "iseed": "1"},
 			Params{"mode": "decision", "l": "3", "beta": "45", "iseed": "2"},
 		),
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "bounds"); mode {
 			case "bounds":
 				n := p.Int("n", 1024)
@@ -197,7 +197,7 @@ func init() {
 			Params{"mode": "bounds", "n": "16384"},
 			Params{"mode": "gap", "l": "12", "beta": "11", "iseed": "1"},
 		),
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			switch mode := p.Str("mode", "bounds"); mode {
 			case "bounds":
 				n := p.Int("n", 1024)
@@ -256,7 +256,7 @@ func init() {
 			Params{"mode": "bounds", "n": "4096"},
 			Params{"mode": "bounds", "n": "16384"},
 		),
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			s := instanceSeed(p, seed)
 			switch mode := p.Str("mode", "fig2"); mode {
 			case "fig2":
@@ -357,7 +357,7 @@ func init() {
 			case "forwards":
 				gf := gen.ConnectedGNP(p.Int("n", 14), p.Float("p", 0.35), instanceSeed(p, seed))
 				mvcOpt := len(exact.MinVertexCover(gf))
-				res, err := lb.MVCViaSpanner(gf, core.Options{Seed: seed, ExecMode: execMode(p)})
+				res, err := lb.MVCViaSpanner(gf, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -420,7 +420,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
+				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -444,7 +444,7 @@ func init() {
 				if err != nil {
 					return nil, err
 				}
-				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
+				res, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -458,7 +458,7 @@ func init() {
 			case "scaling":
 				c := p.Int("c", 4)
 				gs := gen.PlantedStars(c, p.Int("s", 8), p.Float("q", 0.4), instanceSeed(p, seed))
-				res, err := core.TwoSpanner(gs, core.Options{Seed: seed, ExecMode: execMode(p)})
+				res, err := core.TwoSpanner(gs, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -643,7 +643,7 @@ func init() {
 			switch mode := p.Str("mode", "bits"); mode {
 			case "bits":
 				g := gen.Clique(p.Int("n", 16))
-				resC, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
+				resC, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 				if err != nil {
 					return nil, err
 				}
@@ -689,7 +689,7 @@ func init() {
 		Model:      "CONGEST",
 		Grid:       Grid{"n": {"100", "200"}, "k": {"2", "3", "4"}},
 		Replicates: 5,
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			n, k := p.Int("n", 100), p.Int("k", 3)
 			// The pinned instance of the original driver: seed n+k.
 			g := gen.ConnectedGNP(n, p.Float("p", 0.3), int64(p.Int("iseed", n+k)))
@@ -719,11 +719,11 @@ func init() {
 		Grid:  Grid{"n": {"8", "16", "24", "32"}},
 		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
 			g := gen.Clique(p.Int("n", 16))
-			local, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p)})
+			local, err := core.TwoSpanner(g, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 			if err != nil {
 				return nil, err
 			}
-			cg, err := core.TwoSpannerCongest(g, core.Options{Seed: seed, ExecMode: execMode(p)})
+			cg, err := core.TwoSpannerCongest(g, core.Options{Seed: seed, ExecMode: execMode(p), Cancel: cancel})
 			if err != nil {
 				return nil, err
 			}

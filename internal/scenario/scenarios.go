@@ -437,7 +437,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "100", "p": "0.3", "k": "3"},
 		Grid:       Grid{"n": {"100", "200"}, "k": {"2", "3", "4"}},
 		Replicates: 5,
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -469,7 +469,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "48", "p": "0.15"},
 		Grid:       Grid{"n": {"32", "64"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -495,7 +495,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "48", "p": "0.15", "k": "3"},
 		Grid:       Grid{"k": {"2", "3", "5"}},
 		Replicates: 3,
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
@@ -523,7 +523,7 @@ func init() {
 		Defaults:   Params{"family": "cgnp", "n": "10", "p": "0.35", "k": "2", "eps": "0.5"},
 		Grid:       Grid{"eps": {"0.25", "0.5", "1.0"}},
 		Replicates: 2,
-		Run: func(p Params, seed int64, cancel <-chan struct{}) (Metrics, error) {
+		Run: func(p Params, seed int64, _ <-chan struct{}) (Metrics, error) {
 			g, err := GraphSpec{}.Build(p, seed)
 			if err != nil {
 				return nil, err
